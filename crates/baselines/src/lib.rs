@@ -1,0 +1,25 @@
+//! `tlp-baselines`: the state-of-the-art mechanisms the paper compares
+//! against.
+//!
+//! * [`Hermes`] — the perceptron-based off-chip predictor of Bera et al.
+//!   (MICRO 2022). A positive prediction issues a speculative DRAM request
+//!   in parallel with the cache hierarchy walk; there is no delay
+//!   mechanism, which is exactly the bandwidth weakness the paper's
+//!   Figures 2–4 quantify.
+//! * [`Ppf`] — the Perceptron-based Prefetch Filter of Bhatia et al.
+//!   (ISCA 2019), built on top of an aggressively configured SPP at the
+//!   L2. PPF trains on prefetch *usefulness* and keeps prefetch/reject
+//!   tables so it can also learn from wrongly rejected prefetches.
+//! * [`Lp`] — the residency-tracking Level Prediction scheme of Jalili &
+//!   Erez (HPCA 2022), discussed in the paper's related work (§VII): a
+//!   DRAM-resident flat array plus a small metadata cache. Included so the
+//!   extension experiments can compare all three off-chip prediction
+//!   strategies head-to-head.
+
+pub mod hermes;
+pub mod lp;
+pub mod ppf;
+
+pub use hermes::{Hermes, HermesConfig};
+pub use lp::{Lp, LpConfig, LpStats};
+pub use ppf::{Ppf, PpfConfig};

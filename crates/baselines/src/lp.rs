@@ -1,0 +1,371 @@
+//! LP: cache Level Prediction (Jalili & Erez, HPCA 2022) — the
+//! residency-tracking off-chip predictor the paper's related work (§VII)
+//! discusses.
+//!
+//! LP keeps a *flat array* of per-line residency information in a reserved
+//! DRAM region and caches recently used segments of it in a small on-chip
+//! metadata cache. A demand load consults the metadata cache; when the
+//! cached entry says the block is not resident in the hierarchy, the load
+//! is routed to DRAM directly.
+//!
+//! The TLP paper lists three drawbacks, all of which this model exhibits:
+//!
+//! 1. **High false-positive rate.** The flat array only observes demand
+//!    fills, so blocks brought in by prefetchers (or evicted at different
+//!    times than the array assumes) are misclassified, triggering useless
+//!    DRAM transactions.
+//! 2. **Large storage.** Covering the workload's footprint requires a
+//!    metadata cache orders of magnitude larger than TLP's 7 KB (see
+//!    [`Lp::storage_bits`]).
+//! 3. **No prefetch handling.** LP predicts demand loads only; it cannot
+//!    filter inaccurate prefetches.
+//!
+//! # Model
+//!
+//! The DRAM-resident flat array is modelled by a bounded *residency shadow*:
+//! a set-associative LRU tag store sized to the hierarchy's aggregate
+//! capacity. Lines enter the shadow when a demand load completes (the block
+//! is then resident) and age out by LRU as the tracked footprint exceeds
+//! hierarchy capacity — mirroring how the real flat array is updated on
+//! fills and evictions. Prediction requires the line's metadata segment to
+//! be present in the metadata cache; a metadata miss yields no prediction
+//! (the real design would have to fetch the segment from DRAM first) and
+//! allocates the segment for subsequent accesses.
+
+use tlp_sim::hooks::{LoadCtx, OffChipDecision, OffChipPredictor, OffChipTag};
+use tlp_sim::types::{Level, LINE_SIZE, PAGE_SIZE};
+
+/// LP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpConfig {
+    /// Residency-shadow sets (power of two).
+    pub shadow_sets: usize,
+    /// Residency-shadow associativity.
+    pub shadow_ways: usize,
+    /// Metadata-cache sets (power of two).
+    pub md_sets: usize,
+    /// Metadata-cache associativity.
+    pub md_ways: usize,
+}
+
+impl LpConfig {
+    /// A configuration scaled to the paper's single-core hierarchy:
+    /// the shadow covers the aggregate L1D + L2 + LLC capacity
+    /// (32 KB + 1 MB + 1.375 MB ≈ 39 K lines) and the metadata cache
+    /// covers an 8 MB footprint in 4 KB segments.
+    #[must_use]
+    pub fn hpca22() -> Self {
+        Self {
+            shadow_sets: 4096,
+            shadow_ways: 10,
+            md_sets: 256,
+            md_ways: 8,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    #[must_use]
+    pub fn test_tiny() -> Self {
+        Self {
+            shadow_sets: 8,
+            shadow_ways: 2,
+            md_sets: 4,
+            md_ways: 2,
+        }
+    }
+}
+
+/// A minimal set-associative LRU tag store (no data), used for both the
+/// residency shadow and the metadata cache.
+#[derive(Debug)]
+struct TagStore {
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    valid: Vec<bool>,
+    sets: usize,
+    ways: usize,
+    clock: u64,
+}
+
+impl TagStore {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        Self {
+            tags: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
+            valid: vec![false; sets * ways],
+            sets,
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key as usize) & (self.sets - 1)
+    }
+
+    /// True when `key` is present; refreshes its LRU stamp.
+    fn probe(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let base = self.set_of(key) * self.ways;
+        for w in 0..self.ways {
+            if self.valid[base + w] && self.tags[base + w] == key {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `key`, evicting the set's LRU entry if needed. Returns true
+    /// when the key was newly inserted (false when already present).
+    fn insert(&mut self, key: u64) -> bool {
+        if self.probe(key) {
+            return false;
+        }
+        let base = self.set_of(key) * self.ways;
+        let slot = (0..self.ways)
+            .min_by_key(|&w| {
+                if self.valid[base + w] {
+                    self.stamps[base + w]
+                } else {
+                    0
+                }
+            })
+            .expect("ways is nonzero");
+        self.tags[base + slot] = key;
+        self.stamps[base + slot] = self.clock;
+        self.valid[base + slot] = true;
+        true
+    }
+
+    fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Running counters describing LP's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Loads for which the metadata segment was cached.
+    pub md_hits: u64,
+    /// Loads whose metadata segment had to be (re)fetched — no prediction.
+    pub md_misses: u64,
+    /// Off-chip predictions issued (speculative DRAM requests).
+    pub predicted_offchip: u64,
+    /// Off-chip predictions whose load was truly served from DRAM.
+    pub correct_offchip: u64,
+}
+
+impl LpStats {
+    /// Fraction of issued off-chip predictions that were correct.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.predicted_offchip == 0 {
+            return 0.0;
+        }
+        self.correct_offchip as f64 / self.predicted_offchip as f64
+    }
+}
+
+/// The LP off-chip predictor.
+#[derive(Debug)]
+pub struct Lp {
+    shadow: TagStore,
+    metadata: TagStore,
+    stats: LpStats,
+}
+
+impl Lp {
+    /// Builds LP from its configuration.
+    #[must_use]
+    pub fn new(cfg: LpConfig) -> Self {
+        Self {
+            shadow: TagStore::new(cfg.shadow_sets, cfg.shadow_ways),
+            metadata: TagStore::new(cfg.md_sets, cfg.md_ways),
+            stats: LpStats::default(),
+        }
+    }
+
+    /// Behaviour counters.
+    #[must_use]
+    pub fn stats(&self) -> LpStats {
+        self.stats
+    }
+
+    /// On-chip storage of the metadata cache in bits: per segment, a 20-bit
+    /// tag plus 2 bits of residency state per line in the 4 KB segment.
+    /// (The flat array itself lives in DRAM and is not counted.)
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        let lines_per_segment = (PAGE_SIZE / LINE_SIZE) as usize;
+        self.metadata.capacity() * (20 + 2 * lines_per_segment)
+    }
+}
+
+impl OffChipPredictor for Lp {
+    fn predict_load(&mut self, ctx: &LoadCtx) -> OffChipTag {
+        let line = ctx.vaddr / LINE_SIZE;
+        let segment = ctx.vaddr / PAGE_SIZE;
+        // The prediction is only available when the metadata segment is
+        // on-chip; otherwise allocate it for later loads (modelling the
+        // flat-array fetch) and stay silent.
+        if !self.metadata.probe(segment) {
+            self.metadata.insert(segment);
+            self.stats.md_misses += 1;
+            return OffChipTag {
+                decision: OffChipDecision::NoIssue,
+                confidence: 0,
+                indices: tlp_perceptron::FeatureIndices::empty(),
+                valid: true,
+            };
+        }
+        self.stats.md_hits += 1;
+        // Shadow probe without refreshing LRU order would be ideal; the
+        // refresh models the flat array marking the line "recently asked
+        // about", which is harmless for residency semantics.
+        let resident = self.shadow.probe(line);
+        let decision = if resident {
+            OffChipDecision::NoIssue
+        } else {
+            self.stats.predicted_offchip += 1;
+            OffChipDecision::IssueNow
+        };
+        OffChipTag {
+            decision,
+            // LP is not confidence-based; encode the binary decision so
+            // downstream consumers (SLP's leveling feature) still work.
+            confidence: if resident { -1 } else { 1 },
+            indices: tlp_perceptron::FeatureIndices::empty(),
+            valid: true,
+        }
+    }
+
+    fn train_load(&mut self, ctx: &LoadCtx, tag: &OffChipTag, served_from: Level) {
+        if tag.decision == OffChipDecision::IssueNow && served_from.is_off_chip() {
+            self.stats.correct_offchip += 1;
+        }
+        // The block is now resident in the hierarchy: record it in the flat
+        // array (shadow). LRU aging models capacity evictions.
+        self.shadow.insert(ctx.vaddr / LINE_SIZE);
+    }
+
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, vaddr: u64) -> LoadCtx {
+        LoadCtx {
+            core: 0,
+            pc,
+            vaddr,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn cold_metadata_yields_no_prediction() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let tag = lp.predict_load(&ctx(0x400, 0x1000));
+        assert_eq!(tag.decision, OffChipDecision::NoIssue);
+        assert_eq!(lp.stats().md_misses, 1);
+        assert_eq!(lp.stats().md_hits, 0);
+    }
+
+    #[test]
+    fn absent_line_predicts_offchip_once_metadata_warm() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let a = ctx(0x400, 0x1000);
+        let _ = lp.predict_load(&a); // warms the segment
+        let tag = lp.predict_load(&a);
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::IssueNow,
+            "untracked line must be predicted off-chip"
+        );
+        assert_eq!(lp.stats().predicted_offchip, 1);
+    }
+
+    #[test]
+    fn trained_line_predicts_resident() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let a = ctx(0x400, 0x1000);
+        let _ = lp.predict_load(&a);
+        let tag = lp.predict_load(&a);
+        lp.train_load(&a, &tag, Level::Dram);
+        let tag = lp.predict_load(&a);
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::NoIssue,
+            "a just-filled line is resident"
+        );
+    }
+
+    #[test]
+    fn capacity_evictions_restore_offchip_prediction() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let a = ctx(0x400, 0x0);
+        let _ = lp.predict_load(&a);
+        let t = lp.predict_load(&a);
+        lp.train_load(&a, &t, Level::Dram);
+        // Flood the shadow's set 0 (16-line capacity footprint; stride by
+        // shadow_sets lines to stay in set 0).
+        for i in 1..=8u64 {
+            let v = i * 8 * LINE_SIZE;
+            let c = ctx(0x400, v);
+            let t = lp.predict_load(&c);
+            lp.train_load(&c, &t, Level::Dram);
+        }
+        let tag = lp.predict_load(&a);
+        // Metadata for segment 0 may itself have aged; re-warm if needed.
+        let tag = if lp.stats().md_misses > 1 {
+            lp.predict_load(&a)
+        } else {
+            tag
+        };
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::IssueNow,
+            "an aged-out line must be predicted off-chip again"
+        );
+    }
+
+    #[test]
+    fn precision_counts_true_offchip_outcomes() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let a = ctx(0x400, 0x4000);
+        let _ = lp.predict_load(&a);
+        let t1 = lp.predict_load(&a);
+        assert_eq!(t1.decision, OffChipDecision::IssueNow);
+        lp.train_load(&a, &t1, Level::Dram); // correct
+        let b = ctx(0x400, 0x8000);
+        let _ = lp.predict_load(&b);
+        let t2 = lp.predict_load(&b);
+        assert_eq!(t2.decision, OffChipDecision::IssueNow);
+        lp.train_load(&b, &t2, Level::L2); // false positive
+        let s = lp.stats();
+        assert_eq!(s.predicted_offchip, 2);
+        assert_eq!(s.correct_offchip, 1);
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_dwarfs_tlp_budget() {
+        let lp = Lp::new(LpConfig::hpca22());
+        // The TLP paper's critique: LP's on-chip metadata alone is an order
+        // of magnitude larger than TLP's 7 KB.
+        assert!(lp.storage_bits() / 8 > 30 * 1024, "{}", lp.storage_bits());
+    }
+
+    #[test]
+    fn tag_store_rejects_bad_geometry() {
+        let r = std::panic::catch_unwind(|| TagStore::new(3, 2));
+        assert!(r.is_err());
+    }
+}

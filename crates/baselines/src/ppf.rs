@@ -1,0 +1,280 @@
+//! PPF: the Perceptron-based Prefetch Filter (Bhatia et al., ISCA 2019) —
+//! the state-of-the-art prefetch filter the paper compares against.
+//!
+//! PPF rides on an aggressively configured SPP at the L2: SPP is allowed to
+//! chase long low-confidence signature paths, and the perceptron filter
+//! prunes the resulting flood. For every candidate, features drawn from
+//! the candidate's address and SPP's internal state (signature, depth,
+//! path confidence, trigger PC) index a set of weight tables; the sum
+//! decides issue/reject.
+//!
+//! Training is usefulness-driven, through two recording tables:
+//! * the **prefetch table** remembers recently issued prefetches — a
+//!   demand hit trains positively, an unused eviction negatively;
+//! * the **reject table** remembers recently rejected candidates — a
+//!   demand miss matching it means the filter was wrong to reject, and
+//!   trains positively.
+//!
+//! Storage is dominated by the weight tables (~20 KB here, 40 KB in the
+//! paper) — an order of magnitude more than TLP's 7 KB (Table II).
+
+use tlp_perceptron::{combine, FeatureIndices, HashedPerceptron, TableSpec};
+use tlp_sim::hooks::{L2Access, L2PrefetchCandidate, L2PrefetchFilter};
+use tlp_sim::types::{line_offset_in_page, page_of, LINE_SIZE};
+
+const NUM_FEATURES: usize = 8;
+const RECORD_TABLE_SIZE: usize = 1024;
+
+/// PPF configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PpfConfig {
+    /// Entries per weight table.
+    pub table_size: usize,
+    /// Weight width in bits.
+    pub weight_bits: u32,
+    /// Acceptance threshold: issue when `sum >= tau`.
+    pub tau: i32,
+    /// Training threshold θ.
+    pub theta: i32,
+}
+
+impl PpfConfig {
+    /// The ISCA'19 configuration (scaled to 8 × 4096 × 5-bit tables).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            table_size: 4096,
+            weight_bits: 5,
+            tau: -8,
+            theta: 20,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RecordEntry {
+    valid: bool,
+    line: u64,
+    indices: FeatureIndices,
+    sum: i32,
+}
+
+/// The PPF filter.
+#[derive(Debug)]
+pub struct Ppf {
+    perceptron: HashedPerceptron,
+    prefetch_table: Vec<RecordEntry>,
+    reject_table: Vec<RecordEntry>,
+    cfg: PpfConfig,
+}
+
+impl Ppf {
+    /// Builds PPF from its configuration.
+    #[must_use]
+    pub fn new(cfg: PpfConfig) -> Self {
+        let spec = TableSpec::new(cfg.table_size, cfg.weight_bits);
+        Self {
+            perceptron: HashedPerceptron::new(&[spec; NUM_FEATURES]),
+            prefetch_table: vec![RecordEntry::default(); RECORD_TABLE_SIZE],
+            reject_table: vec![RecordEntry::default(); RECORD_TABLE_SIZE],
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PpfConfig {
+        &self.cfg
+    }
+
+    /// Weight storage in bits.
+    #[must_use]
+    pub fn weight_storage_bits(&self) -> usize {
+        self.perceptron.storage_bits()
+    }
+
+    fn features(trigger: &L2Access, cand: &L2PrefetchCandidate) -> [u64; NUM_FEATURES] {
+        let line = cand.paddr / LINE_SIZE;
+        let offset = line_offset_in_page(cand.paddr);
+        let page = page_of(cand.paddr);
+        [
+            line,
+            combine(offset, 0x1),
+            page,
+            u64::from(cand.signature),
+            combine(u64::from(cand.signature), u64::from(cand.depth)),
+            combine(u64::from(cand.confidence / 10), u64::from(cand.depth)),
+            trigger.pc,
+            combine(trigger.pc, offset),
+        ]
+    }
+
+    fn slot(line: u64) -> usize {
+        (line as usize).wrapping_mul(0x9e3779b1) % RECORD_TABLE_SIZE
+    }
+
+    fn record(table: &mut [RecordEntry], line: u64, indices: FeatureIndices, sum: i32) {
+        table[Self::slot(line)] = RecordEntry {
+            valid: true,
+            line,
+            indices,
+            sum,
+        };
+    }
+
+    fn take(table: &mut [RecordEntry], line: u64) -> Option<(FeatureIndices, i32)> {
+        let e = &mut table[Self::slot(line)];
+        if e.valid && e.line == line {
+            e.valid = false;
+            Some((e.indices, e.sum))
+        } else {
+            None
+        }
+    }
+}
+
+impl L2PrefetchFilter for Ppf {
+    fn filter(&mut self, trigger: &L2Access, cand: &L2PrefetchCandidate) -> bool {
+        let hashes = Self::features(trigger, cand);
+        let indices = self.perceptron.indices(&hashes);
+        let sum = self.perceptron.sum(&indices);
+        let line = cand.paddr / LINE_SIZE;
+        if sum >= self.cfg.tau {
+            Self::record(&mut self.prefetch_table, line, indices, sum);
+            true
+        } else {
+            Self::record(&mut self.reject_table, line, indices, sum);
+            false
+        }
+    }
+
+    fn on_useful(&mut self, paddr: u64) {
+        let line = paddr / LINE_SIZE;
+        if let Some((indices, sum)) = Self::take(&mut self.prefetch_table, line) {
+            self.perceptron
+                .train_thresholded(&indices, true, sum, self.cfg.theta);
+        }
+    }
+
+    fn on_useless(&mut self, paddr: u64) {
+        let line = paddr / LINE_SIZE;
+        if let Some((indices, sum)) = Self::take(&mut self.prefetch_table, line) {
+            self.perceptron
+                .train_thresholded(&indices, false, sum, self.cfg.theta);
+        }
+    }
+
+    fn on_demand_miss(&mut self, paddr: u64) {
+        let line = paddr / LINE_SIZE;
+        if let Some((indices, sum)) = Self::take(&mut self.reject_table, line) {
+            // The demand missed on a line we refused to prefetch: the
+            // filter was wrong — train toward acceptance.
+            self.perceptron
+                .train_thresholded(&indices, true, sum, self.cfg.theta);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ppf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trigger(pc: u64, paddr: u64) -> L2Access {
+        L2Access {
+            core: 0,
+            pc,
+            paddr,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn cand(paddr: u64, sig: u32, conf: u32, depth: u8) -> L2PrefetchCandidate {
+        L2PrefetchCandidate {
+            paddr,
+            fill_llc_only: false,
+            signature: sig,
+            confidence: conf,
+            depth,
+        }
+    }
+
+    #[test]
+    fn cold_filter_accepts() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        assert!(ppf.filter(&trigger(0x400, 0x1000), &cand(0x2000, 7, 90, 1)));
+    }
+
+    #[test]
+    fn useless_prefetches_train_toward_rejection() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x400, 0x1000);
+        for i in 0..300u64 {
+            let c = cand(0x10_0000 + i * 64, 0x3f, 20, 4);
+            if ppf.filter(&t, &c) {
+                ppf.on_useless(c.paddr);
+            }
+        }
+        // A fresh candidate with the same profile must now be rejected.
+        let rejected = !ppf.filter(&t, &cand(0x90_0000, 0x3f, 20, 4));
+        assert!(rejected, "PPF failed to learn from useless prefetches");
+    }
+
+    #[test]
+    fn useful_prefetches_keep_acceptance() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x500, 0x1000);
+        for i in 0..300u64 {
+            let c = cand(0x20_0000 + i * 64, 0x11, 95, 1);
+            if ppf.filter(&t, &c) {
+                ppf.on_useful(c.paddr);
+            }
+        }
+        assert!(ppf.filter(&t, &cand(0xa0_0000, 0x11, 95, 1)));
+    }
+
+    #[test]
+    fn reject_table_recovers_wrong_rejections() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x600, 0x1000);
+        // Drive the profile into rejection.
+        for i in 0..300u64 {
+            let c = cand(0x30_0000 + i * 64, 0x22, 10, 6);
+            if ppf.filter(&t, &c) {
+                ppf.on_useless(c.paddr);
+            }
+        }
+        let probe = cand(0xb0_0000, 0x22, 10, 6);
+        assert!(!ppf.filter(&t, &probe), "profile must start rejected");
+        // Rejected lines keep being demanded: reject-table hits train back.
+        let mut flipped = false;
+        for i in 0..400u64 {
+            let c = cand(0x40_0000 + i * 64, 0x22, 10, 6);
+            if ppf.filter(&t, &c) {
+                flipped = true;
+                break;
+            }
+            ppf.on_demand_miss(c.paddr);
+        }
+        assert!(flipped, "reject-table training must recover acceptance");
+    }
+
+    #[test]
+    fn training_without_record_is_a_noop() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        ppf.on_useful(0xdead_beef);
+        ppf.on_useless(0xdead_beef);
+        ppf.on_demand_miss(0xdead_beef);
+    }
+
+    #[test]
+    fn storage_is_roughly_20kb() {
+        let ppf = Ppf::new(PpfConfig::paper());
+        let kb = ppf.weight_storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((15.0..=45.0).contains(&kb), "weights {kb:.1} KB");
+    }
+}

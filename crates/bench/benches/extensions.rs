@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the extension experiments (E1–E6): the
+//! off-chip predictor head-to-head (incl. LP), the LLC replacement
+//! ablation, the threshold/feature/storage sensitivity sweeps, and the
+//! victim-cache comparison. Bench scale mirrors `benches/figures.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tlp_harness::experiments::{
+    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
+    ext06_victim,
+};
+use tlp_harness::{Harness, RunConfig};
+
+fn bench_rc() -> RunConfig {
+    let mut rc = RunConfig::test();
+    rc.instructions = 12_000;
+    rc.warmup = 2_500;
+    rc.workloads_per_suite = Some(2);
+    rc.mixes_per_suite = 1;
+    rc
+}
+
+fn extension_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("ext01_offchip_head_to_head", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| ext01_offchip::run(&h));
+    });
+    g.bench_function("ext02_replacement_ablation", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| ext02_replacement::run(&h));
+    });
+    g.bench_function("ext03_threshold_sweeps", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| {
+            (
+                ext03_thresholds::run_tau_high(&h),
+                ext03_thresholds::run_tau_low(&h),
+                ext03_thresholds::run_tau_pref(&h),
+            )
+        });
+    });
+    g.bench_function("ext04_feature_ablation", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| ext04_features::run(&h));
+    });
+    g.bench_function("ext05_storage_sweep", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| ext05_storage::run(&h));
+    });
+    g.bench_function("ext06_victim_cache", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| ext06_victim::run(&h));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, extension_benches);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! One Criterion benchmark per paper figure/table: each iteration
+//! regenerates the experiment at test scale (smaller workload subsets and
+//! instruction budgets than the CLI's `--quick`/`--full`, same code paths).
+//!
+//! The benchmark *values* (wall time) measure the harness itself; the
+//! experiment outputs are printed once per figure by `tlp-repro`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tlp_harness::experiments::{
+    fig01, fig02, fig03, fig04, fig05, fig06, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
+    fig17, tables,
+};
+use tlp_harness::{Harness, L1Pf, RunConfig};
+
+fn bench_rc() -> RunConfig {
+    let mut rc = RunConfig::test();
+    rc.instructions = 12_000;
+    rc.warmup = 2_500;
+    rc.workloads_per_suite = Some(2);
+    rc.mixes_per_suite = 1;
+    rc
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    // One experiment regeneration per iteration is already seconds of
+    // work; keep Criterion's own windows minimal.
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("fig01_mpki", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig01::run(&h));
+    });
+    g.bench_function("fig02_hermes_dram_sc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig02::run(&h));
+    });
+    g.bench_function("fig03_hermes_dram_mc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig03::run(&h));
+    });
+    g.bench_function("fig04_pred_outcome", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig04::run(&h));
+    });
+    g.bench_function("fig05_inaccurate_prefetches", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig05::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig06_accurate_prefetches", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig06::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig10_speedup_sc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig10::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig11_dram_sc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig11::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig12_accuracy", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig12::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig13_speedup_mc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig13::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig14_dram_mc", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig14::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("fig15_ablation", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig15::run(&h));
+    });
+    g.bench_function("fig16_bandwidth", |b| {
+        let mut rc = bench_rc();
+        rc.instructions = 6_000;
+        rc.warmup = 1_000;
+        rc.workloads_per_suite = Some(1);
+        let h = Harness::new(rc);
+        b.iter(|| fig16::run(&h));
+    });
+    g.bench_function("fig17_storage_budget", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| fig17::run(&h, L1Pf::Ipcp));
+    });
+    g.bench_function("table2_storage", |b| b.iter(tables::table2));
+    g.bench_function("table3_config", |b| b.iter(tables::table3));
+    g.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! FLP: the First Level Perceptron predictor (paper §IV-A).
+//!
+//! FLP is consulted at load dispatch and compares its confidence sum
+//! against two thresholds:
+//!
+//! * `sum > τ_high` — high confidence the load misses everywhere: issue
+//!   the speculative DRAM request immediately, in parallel with the L1D
+//!   lookup (L1Ds are VIPT).
+//! * `τ_low ≤ sum ≤ τ_high` — off-chip is likely but not certain: *tag*
+//!   the load and issue the speculative request only if the L1D lookup
+//!   misses. This is the paper's novel **selective delay**, motivated by
+//!   Finding 3 (17.7% of Hermes' off-chip predictions are served by the
+//!   L1D).
+//! * `sum < τ_low` — predicted on-chip: no speculative request.
+
+use tlp_sim::hooks::{LoadCtx, OffChipDecision, OffChipPredictor, OffChipTag};
+use tlp_sim::types::Level;
+
+use crate::offchip_base::{OffChipPerceptron, OffChipPerceptronConfig};
+
+/// How FLP converts confidence into speculative-request timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayMode {
+    /// Hermes-style: any positive prediction issues immediately
+    /// (the "FLP"/"TSP" ablation of Figure 15).
+    Never,
+    /// Every positive prediction waits for the L1D miss
+    /// (the "Delayed TSP" ablation).
+    Always,
+    /// The paper's two-threshold selective delay.
+    Selective,
+}
+
+/// FLP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlpConfig {
+    /// Shared perceptron geometry/training parameters.
+    pub perceptron: OffChipPerceptronConfig,
+    /// Issue-immediately threshold τ_high.
+    pub tau_high: i32,
+    /// Predict-off-chip threshold τ_low.
+    pub tau_low: i32,
+    /// Delay policy.
+    pub delay: DelayMode,
+}
+
+impl FlpConfig {
+    /// The paper's FLP.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            perceptron: OffChipPerceptronConfig::paper(),
+            tau_high: 14,
+            tau_low: 2,
+            delay: DelayMode::Selective,
+        }
+    }
+
+    /// FLP without selective delay (issues at τ_low, Hermes-style).
+    #[must_use]
+    pub fn no_delay() -> Self {
+        Self {
+            delay: DelayMode::Never,
+            ..Self::paper()
+        }
+    }
+
+    /// FLP that always delays until the L1D miss.
+    #[must_use]
+    pub fn always_delay() -> Self {
+        Self {
+            delay: DelayMode::Always,
+            ..Self::paper()
+        }
+    }
+}
+
+/// The First Level Perceptron off-chip predictor.
+#[derive(Debug)]
+pub struct Flp {
+    base: OffChipPerceptron,
+    cfg: FlpConfig,
+}
+
+impl Flp {
+    /// Builds FLP from its configuration.
+    #[must_use]
+    pub fn new(cfg: FlpConfig) -> Self {
+        Self {
+            base: OffChipPerceptron::new(cfg.perceptron),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FlpConfig {
+        &self.cfg
+    }
+
+    fn decide(&self, sum: i32) -> OffChipDecision {
+        match self.cfg.delay {
+            DelayMode::Never => {
+                if sum >= self.cfg.tau_low {
+                    OffChipDecision::IssueNow
+                } else {
+                    OffChipDecision::NoIssue
+                }
+            }
+            DelayMode::Always => {
+                if sum >= self.cfg.tau_low {
+                    OffChipDecision::IssueOnL1dMiss
+                } else {
+                    OffChipDecision::NoIssue
+                }
+            }
+            DelayMode::Selective => {
+                if sum > self.cfg.tau_high {
+                    OffChipDecision::IssueNow
+                } else if sum >= self.cfg.tau_low {
+                    OffChipDecision::IssueOnL1dMiss
+                } else {
+                    OffChipDecision::NoIssue
+                }
+            }
+        }
+    }
+}
+
+impl OffChipPredictor for Flp {
+    fn predict_load(&mut self, ctx: &LoadCtx) -> OffChipTag {
+        let (sum, indices) = self.base.predict(ctx.pc, ctx.vaddr);
+        OffChipTag {
+            decision: self.decide(sum),
+            confidence: sum,
+            indices,
+            valid: true,
+        }
+    }
+
+    fn train_load(&mut self, _ctx: &LoadCtx, tag: &OffChipTag, served_from: Level) {
+        if !tag.valid {
+            return;
+        }
+        self.base
+            .train(&tag.indices, tag.confidence, served_from.is_off_chip());
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.delay {
+            DelayMode::Never => "flp-nodelay",
+            DelayMode::Always => "flp-alwaysdelay",
+            DelayMode::Selective => "flp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, vaddr: u64) -> LoadCtx {
+        LoadCtx {
+            core: 0,
+            pc,
+            vaddr,
+            cycle: 0,
+        }
+    }
+
+    /// Trains the predictor until a PC saturates toward `offchip`.
+    fn train_pc(flp: &mut Flp, pc: u64, offchip: bool, n: usize) {
+        for i in 0..n {
+            let c = ctx(pc, 0x100_0000 + (i as u64) * 4096);
+            let tag = flp.predict_load(&c);
+            flp.train_load(&c, &tag, if offchip { Level::Dram } else { Level::L1d });
+        }
+    }
+
+    #[test]
+    fn cold_predictor_stays_quiet_then_learns() {
+        let mut flp = Flp::new(FlpConfig::paper());
+        let tag = flp.predict_load(&ctx(0x400, 0x1000));
+        assert_eq!(tag.decision, OffChipDecision::NoIssue);
+        train_pc(&mut flp, 0x400, true, 300);
+        let tag = flp.predict_load(&ctx(0x400, 0xdead_0000));
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::IssueNow,
+            "saturated off-chip PC must issue immediately (conf {})",
+            tag.confidence
+        );
+    }
+
+    #[test]
+    fn moderate_confidence_takes_the_delayed_path() {
+        let mut flp = Flp::new(FlpConfig::paper());
+        // Alternate outcomes to keep the sum in the middle band.
+        let pc = 0x500;
+        let mut saw_delayed = false;
+        for i in 0..400u64 {
+            let c = ctx(pc, 0x200_0000 + i * 4096);
+            let tag = flp.predict_load(&c);
+            if tag.decision == OffChipDecision::IssueOnL1dMiss {
+                saw_delayed = true;
+            }
+            let served = if i % 3 != 0 { Level::Dram } else { Level::L2 };
+            flp.train_load(&c, &tag, served);
+        }
+        assert!(
+            saw_delayed,
+            "a 2:1 off-chip PC must pass through the delayed band"
+        );
+    }
+
+    #[test]
+    fn never_mode_never_delays() {
+        let mut flp = Flp::new(FlpConfig::no_delay());
+        train_pc(&mut flp, 0x600, true, 300);
+        for i in 0..50u64 {
+            let tag = flp.predict_load(&ctx(0x600, 0x300_0000 + i * 4096));
+            assert_ne!(tag.decision, OffChipDecision::IssueOnL1dMiss);
+        }
+    }
+
+    #[test]
+    fn always_mode_never_issues_at_core() {
+        let mut flp = Flp::new(FlpConfig::always_delay());
+        train_pc(&mut flp, 0x700, true, 300);
+        for i in 0..50u64 {
+            let tag = flp.predict_load(&ctx(0x700, 0x400_0000 + i * 4096));
+            assert_ne!(tag.decision, OffChipDecision::IssueNow);
+        }
+    }
+
+    #[test]
+    fn onchip_pc_is_suppressed() {
+        let mut flp = Flp::new(FlpConfig::paper());
+        train_pc(&mut flp, 0x800, false, 300);
+        let tag = flp.predict_load(&ctx(0x800, 0x500_0000));
+        assert_eq!(tag.decision, OffChipDecision::NoIssue);
+        assert!(tag.confidence < 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! `tlp-core`: the Two Level Perceptron (TLP) predictor — the primary
+//! contribution of *"A Two Level Neural Approach Combining Off-Chip
+//! Prediction with Adaptive Prefetch Filtering"* (HPCA 2024).
+//!
+//! TLP combines two connected hashed-perceptron predictors:
+//!
+//! * [`Flp`] (First Level Perceptron): an off-chip predictor consulted at
+//!   load dispatch, using the virtual-address program features of Table I.
+//!   Its novelty over Hermes is the **selective delay** mechanism — two
+//!   thresholds (τ_high, τ_low) split predictions into
+//!   *issue-now* / *issue-on-L1D-miss* / *no-issue*, eliminating the
+//!   wasted DRAM transactions Hermes spends on loads that hit in the L1D.
+//! * [`Slp`] (Second Level Perceptron): an off-chip predictor for **L1D
+//!   prefetch requests**, used as an adaptive prefetch filter. It uses the
+//!   same features adapted to physical addresses, plus a *leveling feature*
+//!   combining the FLP output bit of the triggering demand with the
+//!   prefetch target's cache-line offset. Prefetches predicted to be served
+//!   from DRAM are discarded (they are overwhelmingly inaccurate — paper
+//!   Figure 5).
+//!
+//! [`variants`] builds the Figure-15 ablations (FLP-only, SLP-only, TSP,
+//! Delayed TSP, Selective TSP, full TLP) and [`storage`] reproduces the
+//! Table II storage accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_core::{TlpConfig, variants::TlpVariant};
+//!
+//! let cfg = TlpConfig::paper();
+//! let (flp, slp) = TlpVariant::Full.build(&cfg);
+//! assert!(flp.is_some() && slp.is_some());
+//! let report = tlp_core::storage::storage_report(&cfg);
+//! // Table II: ~7 KB total.
+//! assert!(report.total_kb() < 8.0);
+//! ```
+
+pub mod features;
+pub mod flp;
+pub mod offchip_base;
+pub mod slp;
+pub mod storage;
+pub mod variants;
+
+pub use features::{FeatureState, PageBuffer};
+pub use flp::{DelayMode, Flp, FlpConfig};
+pub use offchip_base::{OffChipPerceptron, OffChipPerceptronConfig};
+pub use slp::{Slp, SlpConfig};
+
+/// Full TLP configuration: the FLP and SLP halves plus the metadata-bearing
+/// queue sizes of Table II.
+#[derive(Debug, Clone)]
+pub struct TlpConfig {
+    /// First-level (off-chip) predictor configuration.
+    pub flp: FlpConfig,
+    /// Second-level (prefetch filter) predictor configuration.
+    pub slp: SlpConfig,
+    /// Load-queue entries carrying FLP metadata (Table II).
+    pub load_queue_entries: usize,
+    /// L1D MSHR entries carrying SLP metadata (Table II).
+    pub l1d_mshr_entries: usize,
+}
+
+impl TlpConfig {
+    /// The paper's configuration (§IV-D): ~7 KB of total storage.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            flp: FlpConfig::paper(),
+            slp: SlpConfig::paper(),
+            load_queue_entries: 72,
+            l1d_mshr_entries: 10,
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The Figure-15 ablation variants: each TLP component enabled in turn.
+//!
+//! | variant | FLP | delay | SLP | leveling feature |
+//! |---------|-----|-------|-----|------------------|
+//! | `FlpOnly` | ✓ | never | — | — |
+//! | `SlpOnly` | — | — | ✓ | — |
+//! | `Tsp` | ✓ | never | ✓ | — |
+//! | `DelayedTsp` | ✓ | always | ✓ | — |
+//! | `SelectiveTsp` | ✓ | selective | ✓ | — |
+//! | `Full` (TLP) | ✓ | selective | ✓ | ✓ |
+
+use crate::flp::{Flp, FlpConfig};
+use crate::slp::{Slp, SlpConfig};
+use crate::TlpConfig;
+
+/// Which subset of TLP to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlpVariant {
+    /// FLP predictor alone, without selective delay (≈ Hermes with FLP
+    /// features).
+    FlpOnly,
+    /// SLP prefetch filter alone (no off-chip prediction for demands, so
+    /// no leveling feature input).
+    SlpOnly,
+    /// Two-Step Predictor: FLP (no delay) + SLP (no leveling).
+    Tsp,
+    /// TSP with every speculative request delayed to the L1D miss.
+    DelayedTsp,
+    /// TSP with the paper's selective delay.
+    SelectiveTsp,
+    /// The complete TLP proposal.
+    Full,
+}
+
+impl TlpVariant {
+    /// All variants in the Figure-15 order.
+    pub const ALL: [TlpVariant; 6] = [
+        TlpVariant::FlpOnly,
+        TlpVariant::SlpOnly,
+        TlpVariant::Tsp,
+        TlpVariant::DelayedTsp,
+        TlpVariant::SelectiveTsp,
+        TlpVariant::Full,
+    ];
+
+    /// Display name used in reports (matches the paper's labels).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TlpVariant::FlpOnly => "FLP",
+            TlpVariant::SlpOnly => "SLP",
+            TlpVariant::Tsp => "TSP",
+            TlpVariant::DelayedTsp => "Delayed TSP",
+            TlpVariant::SelectiveTsp => "Selective TSP",
+            TlpVariant::Full => "TLP",
+        }
+    }
+
+    /// Builds the FLP/SLP halves for this variant from a base config.
+    #[must_use]
+    pub fn build(self, cfg: &TlpConfig) -> (Option<Flp>, Option<Slp>) {
+        let flp_cfg = |delay| FlpConfig {
+            delay,
+            ..cfg.flp
+        };
+        let slp_plain = SlpConfig {
+            use_leveling: false,
+            ..cfg.slp
+        };
+        match self {
+            TlpVariant::FlpOnly => (
+                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Never))),
+                None,
+            ),
+            TlpVariant::SlpOnly => (None, Some(Slp::new(slp_plain))),
+            TlpVariant::Tsp => (
+                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Never))),
+                Some(Slp::new(slp_plain)),
+            ),
+            TlpVariant::DelayedTsp => (
+                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Always))),
+                Some(Slp::new(slp_plain)),
+            ),
+            TlpVariant::SelectiveTsp => (
+                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Selective))),
+                Some(Slp::new(slp_plain)),
+            ),
+            TlpVariant::Full => (
+                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Selective))),
+                Some(Slp::new(SlpConfig {
+                    use_leveling: true,
+                    ..cfg.slp
+                })),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flp::DelayMode;
+
+    #[test]
+    fn variants_build_the_right_components() {
+        let cfg = TlpConfig::paper();
+        let (f, s) = TlpVariant::FlpOnly.build(&cfg);
+        assert!(f.is_some() && s.is_none());
+        let (f, s) = TlpVariant::SlpOnly.build(&cfg);
+        assert!(f.is_none() && s.is_some());
+        for v in [TlpVariant::Tsp, TlpVariant::DelayedTsp, TlpVariant::SelectiveTsp, TlpVariant::Full] {
+            let (f, s) = v.build(&cfg);
+            assert!(f.is_some() && s.is_some(), "{v:?} must build both");
+        }
+    }
+
+    #[test]
+    fn delay_modes_match_figure_15() {
+        let cfg = TlpConfig::paper();
+        let delay = |v: TlpVariant| v.build(&cfg).0.map(|f| f.config().delay);
+        assert_eq!(delay(TlpVariant::FlpOnly), Some(DelayMode::Never));
+        assert_eq!(delay(TlpVariant::Tsp), Some(DelayMode::Never));
+        assert_eq!(delay(TlpVariant::DelayedTsp), Some(DelayMode::Always));
+        assert_eq!(delay(TlpVariant::SelectiveTsp), Some(DelayMode::Selective));
+        assert_eq!(delay(TlpVariant::Full), Some(DelayMode::Selective));
+    }
+
+    #[test]
+    fn only_full_tlp_uses_the_leveling_feature() {
+        let cfg = TlpConfig::paper();
+        for v in TlpVariant::ALL {
+            if let (_, Some(slp)) = v.build(&cfg) {
+                assert_eq!(
+                    slp.config().use_leveling,
+                    v == TlpVariant::Full,
+                    "{v:?} leveling misconfigured"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            TlpVariant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), TlpVariant::ALL.len());
+    }
+}

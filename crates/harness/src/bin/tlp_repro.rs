@@ -1,0 +1,151 @@
+//! `tlp-repro`: regenerate the TLP paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! tlp-repro [--test|--quick|--full] [fig1 fig2 ... | all]
+//! ```
+//!
+//! Every figure of the paper's evaluation is available:
+//! `fig1 fig2 fig3 fig4 fig5 fig6 fig10 fig11 fig12 fig13 fig14 fig15
+//!  fig16 fig17 table2 table3 table45`, plus the extension studies
+//! `ext1` (off-chip predictor head-to-head incl. LP), `ext2` (LLC
+//! replacement ablation), `ext3` (threshold sweeps), `ext4`
+//! (drop-one-feature), `ext5` (storage-budget sweep), `ext6` (victim
+//! cache vs TLP).
+
+use tlp_harness::experiments::{
+    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
+    ext06_victim, fig01, fig02, fig03, fig04, fig05, fig06, fig10, fig11, fig12, fig13, fig14,
+    fig15, fig16, fig17, tables,
+};
+use tlp_harness::report::ExperimentResult;
+use tlp_harness::{Harness, L1Pf, RunConfig};
+
+const ALL_EXPERIMENTS: [&str; 22] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "table2", "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rc = RunConfig::quick();
+    let mut requested: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut formats: Vec<&'static str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => rc = RunConfig::test(),
+            "--quick" => rc = RunConfig::quick(),
+            "--full" => rc = RunConfig::full(),
+            "--json" => formats.push("json"),
+            "--csv" => formats.push("csv"),
+            "--chart" => formats.push("chart"),
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tlp-repro [--test|--quick|--full] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
+                     experiments: {} table45 all\n\
+                     --json/--csv write <id>.json/<id>.csv per result into --out DIR (default: results/)\n\
+                     --chart also prints each result's first column as an ASCII bar chart",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+        requested.push("table45".into());
+    }
+    let out_dir = out_dir.unwrap_or_else(|| "results".into());
+    if formats.iter().any(|f| *f != "chart") {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("cannot create {}: {e}", out_dir.display());
+            std::process::exit(1);
+        }
+    }
+    let h = Harness::new(rc);
+    eprintln!(
+        "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads",
+        rc.scale,
+        rc.warmup,
+        rc.instructions,
+        h.active_workloads().len(),
+        rc.threads,
+    );
+    for exp in &requested {
+        let t0 = std::time::Instant::now();
+        let results = run_experiment(&h, exp, rc);
+        for r in results {
+            println!("{}", r.render());
+            for fmt in &formats {
+                match *fmt {
+                    "chart" => {
+                        if let Some((col, _)) = r.rows.first().and_then(|row| row.values.first())
+                        {
+                            let chart = r.render_chart(&col.clone(), 50);
+                            if !chart.is_empty() {
+                                println!("{chart}");
+                            }
+                        }
+                    }
+                    other => {
+                        let (content, ext) = match other {
+                            "json" => (r.to_json(), "json"),
+                            _ => (r.to_csv(), "csv"),
+                        };
+                        let path = out_dir.join(format!("{}.{ext}", r.id));
+                        if let Err(e) = std::fs::write(&path, content) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                        }
+                    }
+                }
+            }
+        }
+        eprintln!("# {exp} took {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn run_experiment(h: &Harness, id: &str, rc: RunConfig) -> Vec<ExperimentResult> {
+    match id {
+        "fig1" => vec![fig01::run(h)],
+        "fig2" => vec![fig02::run(h)],
+        "fig3" => vec![fig03::run(h)],
+        "fig4" => vec![fig04::run(h)],
+        "fig5" => vec![fig05::run(h, L1Pf::Ipcp), fig05::run(h, L1Pf::Berti)],
+        "fig6" => vec![fig06::run(h, L1Pf::Ipcp), fig06::run(h, L1Pf::Berti)],
+        "fig10" => vec![fig10::run(h, L1Pf::Ipcp), fig10::run(h, L1Pf::Berti)],
+        "fig11" => vec![fig11::run(h, L1Pf::Ipcp), fig11::run(h, L1Pf::Berti)],
+        "fig12" => vec![fig12::run(h, L1Pf::Ipcp), fig12::run(h, L1Pf::Berti)],
+        "fig13" => vec![fig13::run(h, L1Pf::Ipcp), fig13::run(h, L1Pf::Berti)],
+        "fig14" => vec![fig14::run(h, L1Pf::Ipcp), fig14::run(h, L1Pf::Berti)],
+        "fig15" => vec![fig15::run(h)],
+        "fig16" => vec![fig16::run(h)],
+        "fig17" => vec![fig17::run(h, L1Pf::Ipcp), fig17::run(h, L1Pf::Berti)],
+        "table2" => vec![tables::table2()],
+        "table3" => vec![tables::table3()],
+        "table45" => vec![tables::table45(rc.scale)],
+        "ext1" => vec![ext01_offchip::run(h)],
+        "ext2" => vec![ext02_replacement::run(h)],
+        "ext3" => vec![
+            ext03_thresholds::run_tau_high(h),
+            ext03_thresholds::run_tau_low(h),
+            ext03_thresholds::run_tau_pref(h),
+        ],
+        "ext4" => vec![ext04_features::run(h)],
+        "ext5" => vec![ext05_storage::run(h)],
+        "ext6" => vec![ext06_victim::run(h)],
+        other => {
+            eprintln!("unknown experiment: {other} (try --help)");
+            Vec::new()
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension E1: off-chip predictor head-to-head.
+//!
+//! The paper compares TLP against Hermes experimentally and dismisses LP
+//! (Level Prediction, HPCA 2022) in the related work on architectural
+//! grounds: high false-positive rate, large metadata storage, no prefetch
+//! handling. This experiment puts all three *strategies* for off-chip
+//! prediction on the same workloads:
+//!
+//! * **Hermes** — perceptron, single activation threshold, issue at core;
+//! * **LP** — residency tracking (flat array + metadata cache);
+//! * **FLP** — TLP's first level alone (perceptron, no delay);
+//! * **TLP** — the full proposal.
+//!
+//! Reported per scheme: geomean speedup, mean ΔDRAM transactions, the
+//! precision of issued speculative requests (fraction truly served from
+//! DRAM) and the coverage of true off-chip loads.
+
+use tlp_core::variants::TlpVariant;
+use tlp_sim::types::Level;
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::{geomean_speedup_percent, mean, Harness};
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{pct_delta, sweep_single_core};
+
+/// The compared predictors.
+pub const SCHEMES: [Scheme; 4] = [
+    Scheme::Hermes,
+    Scheme::Lp,
+    Scheme::Variant(TlpVariant::FlpOnly),
+    Scheme::Tlp,
+];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "ext01",
+        "Off-chip predictor head-to-head: Hermes vs LP vs FLP vs TLP (IPCP)",
+        "% (speedup geomean / ΔDRAM mean / precision / coverage)",
+    );
+    let data = sweep_single_core(h, &SCHEMES, L1Pf::Ipcp);
+    for (i, s) in SCHEMES.iter().enumerate() {
+        let mut speedups = Vec::new();
+        let mut deltas = Vec::new();
+        let mut precisions = Vec::new();
+        let mut coverages = Vec::new();
+        for (_, reports) in &data {
+            let base = &reports[0];
+            let r = &reports[i + 1];
+            speedups.push(pct_delta(r.ipc(), base.ipc()));
+            deltas.push(pct_delta(
+                r.dram_transactions() as f64,
+                base.dram_transactions() as f64,
+            ));
+            let oc = &r.cores[0].offchip;
+            precisions.push(oc.issue_accuracy() * 100.0);
+            let hits = oc.issued_outcome[Level::Dram.index()];
+            let truly_offchip = hits + oc.missed_offchip;
+            coverages.push(if truly_offchip == 0 {
+                0.0
+            } else {
+                hits as f64 * 100.0 / truly_offchip as f64
+            });
+        }
+        let label = match s {
+            Scheme::Variant(v) => v.name().to_owned(),
+            other => other.name().to_owned(),
+        };
+        result.rows.push(Row::new(
+            label,
+            vec![
+                ("speedup".into(), geomean_speedup_percent(&speedups)),
+                ("ΔDRAM".into(), mean(&deltas)),
+                ("precision".into(), mean(&precisions)),
+                ("coverage".into(), mean(&coverages)),
+            ],
+        ));
+    }
+    result
+}

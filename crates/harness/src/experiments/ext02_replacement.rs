@@ -1,0 +1,57 @@
+//! Extension E2: LLC replacement-policy ablation.
+//!
+//! The paper's related work (§VII) argues TLP is orthogonal to cache
+//! replacement and bypassing proposals — its gains should survive a change
+//! of LLC replacement policy. This experiment reruns Baseline and TLP with
+//! LRU (Table III), SRRIP, DRRIP, SHiP-lite and Random at the LLC and
+//! reports TLP's speedup/ΔDRAM *relative to the baseline using the same
+//! policy*.
+
+use tlp_sim::replacement::ReplKind;
+use tlp_sim::SystemConfig;
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::{geomean_speedup_percent, mean, Harness};
+use crate::scheme::{L1Pf, Scheme};
+
+use super::pct_delta;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "ext02",
+        "TLP under different LLC replacement policies (single-core, IPCP)",
+        "% (speedup geomean / ΔDRAM mean) + baseline LLC MPKI",
+    );
+    let workloads = h.active_workloads();
+    for kind in ReplKind::ALL {
+        let mut cfg = SystemConfig::cascade_lake(1);
+        cfg.llc_repl = kind;
+        let per_w = h.parallel_map(workloads.clone(), |w| {
+            let base =
+                h.run_single_custom(w, Scheme::Baseline, L1Pf::Ipcp, cfg.clone(), kind.name());
+            let tlp = h.run_single_custom(w, Scheme::Tlp, L1Pf::Ipcp, cfg.clone(), kind.name());
+            (
+                pct_delta(tlp.ipc(), base.ipc()),
+                pct_delta(
+                    tlp.dram_transactions() as f64,
+                    base.dram_transactions() as f64,
+                ),
+                base.llc_mpki(),
+            )
+        });
+        let speedups: Vec<f64> = per_w.iter().map(|x| x.0).collect();
+        let deltas: Vec<f64> = per_w.iter().map(|x| x.1).collect();
+        let mpkis: Vec<f64> = per_w.iter().map(|x| x.2).collect();
+        result.rows.push(Row::new(
+            kind.name(),
+            vec![
+                ("TLP speedup".into(), geomean_speedup_percent(&speedups)),
+                ("TLP ΔDRAM".into(), mean(&deltas)),
+                ("base MPKI".into(), mean(&mpkis)),
+            ],
+        ));
+    }
+    result
+}

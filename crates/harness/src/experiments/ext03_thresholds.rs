@@ -1,0 +1,92 @@
+//! Extension E3: threshold sensitivity.
+//!
+//! The paper fixes TLP's three thresholds (τ_high, τ_low, τ_pref) without
+//! reporting a sweep. This experiment varies each threshold around the
+//! operating point while holding the other two at their paper values, and
+//! reports geomean speedup and mean ΔDRAM per point. The expected shape:
+//!
+//! * raising **τ_high** shifts speculative requests from issue-now to the
+//!   delayed path — DRAM traffic falls, latency hiding shrinks;
+//! * lowering **τ_low** widens off-chip coverage at the cost of precision;
+//! * lowering **τ_pref** drops more prefetches — DRAM traffic falls, but
+//!   coverage-carrying prefetches start being discarded.
+
+use crate::report::{ExperimentResult, Row};
+use crate::scheme::{L1Pf, Scheme, TlpParams};
+use crate::Harness;
+
+use super::speedup_and_dram;
+
+/// τ_high sweep points (paper: 14).
+pub const TAU_HIGH: [i32; 5] = [6, 10, 14, 18, 24];
+/// τ_low sweep points (paper: 2).
+pub const TAU_LOW: [i32; 5] = [-2, 0, 2, 6, 10];
+/// τ_pref sweep points (paper: 6).
+pub const TAU_PREF: [i32; 5] = [0, 3, 6, 12, 24];
+
+fn sweep(
+    h: &Harness,
+    id: &str,
+    title: &str,
+    points: &[i32],
+    make: impl Fn(i32) -> TlpParams,
+) -> ExperimentResult {
+    let mut result = ExperimentResult::new(id, title, "% (speedup geomean / ΔDRAM mean)");
+    let schemes: Vec<Scheme> = points
+        .iter()
+        .map(|&t| Scheme::TlpCustom(make(t)))
+        .collect();
+    let summary = speedup_and_dram(h, &schemes, L1Pf::Ipcp);
+    for (&t, (speedup, ddram)) in points.iter().zip(summary) {
+        result.rows.push(Row::new(
+            format!("{t}"),
+            vec![("speedup".into(), speedup), ("ΔDRAM".into(), ddram)],
+        ));
+    }
+    result
+}
+
+/// Sweeps τ_high with τ_low/τ_pref at paper values.
+#[must_use]
+pub fn run_tau_high(h: &Harness) -> ExperimentResult {
+    sweep(
+        h,
+        "ext03a",
+        "τ_high sensitivity (τ_low=2, τ_pref=6, IPCP)",
+        &TAU_HIGH,
+        |t| TlpParams {
+            tau_high: t,
+            ..TlpParams::paper()
+        },
+    )
+}
+
+/// Sweeps τ_low with τ_high/τ_pref at paper values.
+#[must_use]
+pub fn run_tau_low(h: &Harness) -> ExperimentResult {
+    sweep(
+        h,
+        "ext03b",
+        "τ_low sensitivity (τ_high=14, τ_pref=6, IPCP)",
+        &TAU_LOW,
+        |t| TlpParams {
+            tau_low: t,
+            ..TlpParams::paper()
+        },
+    )
+}
+
+/// Sweeps τ_pref with τ_high/τ_low at paper values.
+#[must_use]
+pub fn run_tau_pref(h: &Harness) -> ExperimentResult {
+    sweep(
+        h,
+        "ext03c",
+        "τ_pref sensitivity (τ_high=14, τ_low=2, IPCP)",
+        &TAU_PREF,
+        |t| TlpParams {
+            tau_pref: t,
+            ..TlpParams::paper()
+        },
+    )
+}

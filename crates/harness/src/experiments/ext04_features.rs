@@ -1,0 +1,67 @@
+//! Extension E4: drop-one-feature ablation.
+//!
+//! §IV-A reports that "the features used in the original Hermes work
+//! provide good predictions and adding more features provides marginal
+//! benefits", but no per-feature breakdown. This experiment removes each
+//! Table-I base feature in turn from both FLP and SLP, and reports geomean
+//! speedup, mean ΔDRAM and the L1D prefetcher accuracy under each masked
+//! configuration.
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::{geomean_speedup_percent, mean, Harness};
+use crate::scheme::{L1Pf, Scheme, TlpParams};
+
+use super::{pct_delta, sweep_single_core};
+
+/// Table I feature names, in feature-index order.
+pub const FEATURE_NAMES: [&str; 5] = [
+    "PC⊕line-offset",
+    "PC⊕byte-offset",
+    "PC+first-access",
+    "offset+first-access",
+    "last-4 PCs",
+];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "ext04",
+        "Drop-one-feature ablation of the Table-I features (IPCP)",
+        "% (speedup geomean / ΔDRAM mean / L1D pf accuracy mean)",
+    );
+    let mut schemes = vec![Scheme::TlpCustom(TlpParams::paper())];
+    for f in 0..FEATURE_NAMES.len() {
+        schemes.push(Scheme::TlpCustom(TlpParams {
+            drop_feature: Some(f as u8),
+            ..TlpParams::paper()
+        }));
+    }
+    let data = sweep_single_core(h, &schemes, L1Pf::Ipcp);
+    let mut labels = vec!["all features".to_owned()];
+    labels.extend(FEATURE_NAMES.iter().map(|n| format!("w/o {n}")));
+    for (i, label) in labels.into_iter().enumerate() {
+        let mut speedups = Vec::new();
+        let mut deltas = Vec::new();
+        let mut accs = Vec::new();
+        for (_, reports) in &data {
+            let base = &reports[0];
+            let r = &reports[i + 1];
+            speedups.push(pct_delta(r.ipc(), base.ipc()));
+            deltas.push(pct_delta(
+                r.dram_transactions() as f64,
+                base.dram_transactions() as f64,
+            ));
+            accs.push(r.cores[0].l1_prefetch.accuracy() * 100.0);
+        }
+        result.rows.push(Row::new(
+            label,
+            vec![
+                ("speedup".into(), geomean_speedup_percent(&speedups)),
+                ("ΔDRAM".into(), mean(&deltas)),
+                ("pf acc".into(), mean(&accs)),
+            ],
+        ));
+    }
+    result
+}

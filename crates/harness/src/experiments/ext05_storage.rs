@@ -1,0 +1,46 @@
+//! Extension E5: storage-budget sensitivity.
+//!
+//! TLP's headline hardware cost is 7 KB (Table II). This experiment
+//! resizes every weight table by ¼× to 4× and reports the resulting total
+//! storage alongside geomean speedup and mean ΔDRAM — answering "how much
+//! of TLP's benefit survives at half the budget, and does doubling it pay?"
+
+use crate::report::{ExperimentResult, Row};
+use crate::scheme::{L1Pf, Scheme, TlpParams};
+use crate::Harness;
+
+use super::speedup_and_dram;
+
+/// The sweep points as `(num, den)` resize factors.
+pub const FACTORS: [(u8, u8); 5] = [(1, 4), (1, 2), (1, 1), (2, 1), (4, 1)];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "ext05",
+        "Storage-budget sensitivity: weight tables ¼×–4× (IPCP)",
+        "KB / % (speedup geomean, ΔDRAM mean)",
+    );
+    let params: Vec<TlpParams> = FACTORS
+        .iter()
+        .map(|&resize| TlpParams {
+            resize,
+            ..TlpParams::paper()
+        })
+        .collect();
+    let schemes: Vec<Scheme> = params.iter().map(|&p| Scheme::TlpCustom(p)).collect();
+    let summary = speedup_and_dram(h, &schemes, L1Pf::Ipcp);
+    for (p, (speedup, ddram)) in params.iter().zip(summary) {
+        let kb = tlp_core::storage::storage_report(&p.build_config()).total_kb();
+        result.rows.push(Row::new(
+            format!("×{}/{}", p.resize.0, p.resize.1),
+            vec![
+                ("storage KB".into(), kb),
+                ("speedup".into(), speedup),
+                ("ΔDRAM".into(), ddram),
+            ],
+        ));
+    }
+    result
+}

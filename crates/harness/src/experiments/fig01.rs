@@ -1,0 +1,43 @@
+//! Figure 1: MPKI of all caches (L1D, L2C, LLC) across SPEC and GAP, on
+//! the baseline system (IPCP at L1D, SPP at L2).
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{mean_summaries, sweep_single_core};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig01",
+        "MPKI of L1D, L2C and LLC on the baseline system",
+        "misses per kilo-instruction",
+    );
+    let columns: Vec<String> = ["L1D", "L2C", "LLC"].map(String::from).to_vec();
+    let data = sweep_single_core(h, &[], L1Pf::Ipcp);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let r = &reports[0];
+        let instr = r.cores[0].core.instructions;
+        let row = Row::new(
+            w.name(),
+            vec![
+                ("L1D".into(), r.cores[0].l1d.mpki(instr)),
+                ("L2C".into(), r.cores[0].l2.mpki(instr)),
+                ("LLC".into(), r.llc.mpki(instr)),
+            ],
+        );
+        tagged.push((w.suite(), row));
+    }
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}
+
+/// The baseline scheme used by this figure (exposed for tests).
+#[must_use]
+pub fn scheme() -> Scheme {
+    Scheme::Baseline
+}

@@ -1,0 +1,32 @@
+//! Figure 2: increase in DRAM transactions due to Hermes off-chip
+//! predictions, single-core, relative to the no-off-chip baseline.
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{mean_summaries, pct_delta, sweep_single_core};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig02",
+        "Increase in DRAM transactions due to Hermes (single-core)",
+        "% vs baseline (lower is better)",
+    );
+    let columns = vec!["Hermes".to_string()];
+    let data = sweep_single_core(h, &[Scheme::Hermes], L1Pf::Ipcp);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let base = reports[0].dram_transactions() as f64;
+        let hermes = reports[1].dram_transactions() as f64;
+        tagged.push((
+            w.suite(),
+            Row::new(w.name(), vec![("Hermes".into(), pct_delta(hermes, base))]),
+        ));
+    }
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

@@ -1,0 +1,43 @@
+//! Figure 3: increase in DRAM transactions due to Hermes in the 4-core
+//! context, across SPEC/GAP mixes.
+
+use crate::mix::generate_mixes;
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+use tlp_trace::emit::Suite;
+
+use super::{mean_summaries, pct_delta};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig03",
+        "Increase in DRAM transactions due to Hermes (4-core mixes)",
+        "% vs baseline (lower is better)",
+    );
+    let columns = vec!["Hermes".to_string()];
+    let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
+    let rows = h.parallel_map(mixes, |m| {
+        let base = h.run_mix(&m.workloads, Scheme::Baseline, L1Pf::Ipcp, None);
+        let hermes = h.run_mix(&m.workloads, Scheme::Hermes, L1Pf::Ipcp, None);
+        let delta = pct_delta(
+            hermes.dram_transactions() as f64,
+            base.dram_transactions() as f64,
+        );
+        (
+            m.suite,
+            Row::new(m.name.clone(), vec![("Hermes".into(), delta)]),
+        )
+    });
+    result.summary = mean_summaries(&rows, &columns);
+    result.rows = rows.into_iter().map(|(_, r)| r).collect();
+    result
+}
+
+/// Suites covered (exposed for tests).
+#[must_use]
+pub fn suites() -> [Suite; 2] {
+    [Suite::Spec, Suite::Gap]
+}

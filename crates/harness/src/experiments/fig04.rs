@@ -1,0 +1,43 @@
+//! Figure 4: where the block actually resided for each Hermes off-chip
+//! prediction (L1D / L2C / LLC / DRAM). Predictions whose block was on-chip
+//! are wasted DRAM transactions; the L1D share motivates selective delay.
+
+use tlp_sim::types::Level;
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{mean_summaries, sweep_single_core};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(h: &Harness) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig04",
+        "Location of the block upon a Hermes off-chip prediction",
+        "% of issued off-chip predictions",
+    );
+    let columns: Vec<String> = Level::ALL.iter().map(|l| l.to_string()).collect();
+    let data = sweep_single_core(h, &[Scheme::Hermes], L1Pf::Ipcp);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let outcome = &reports[1].cores[0].offchip.issued_outcome;
+        let total: u64 = outcome.iter().sum();
+        let values: Vec<(String, f64)> = Level::ALL
+            .iter()
+            .map(|l| {
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    outcome[l.index()] as f64 * 100.0 / total as f64
+                };
+                (l.to_string(), pct)
+            })
+            .collect();
+        tagged.push((w.suite(), Row::new(w.name(), values)));
+    }
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

@@ -1,0 +1,51 @@
+//! Figure 5: where *inaccurate* (never-used) L1D prefetches were served
+//! from, in PPKI, for IPCP and Berti on the baseline system. The DRAM
+//! dominance of this figure is what justifies using off-chip prediction as
+//! a prefetch filter.
+
+use tlp_sim::types::Level;
+use tlp_trace::emit::Suite;
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::L1Pf;
+
+use super::{mean_summaries, sweep_single_core};
+
+/// Serving levels an L1D prefetch can come from.
+pub const SERVING_LEVELS: [Level; 3] = [Level::L2, Level::Llc, Level::Dram];
+
+pub(crate) fn ppki_rows(
+    h: &Harness,
+    l1pf: L1Pf,
+    useful: bool,
+) -> Vec<(Suite, Row)> {
+    let data = sweep_single_core(h, &[], l1pf);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let r = &reports[0];
+        let instr = r.cores[0].core.instructions;
+        let pf = &r.cores[0].l1_prefetch;
+        let values: Vec<(String, f64)> = SERVING_LEVELS
+            .iter()
+            .map(|l| (l.to_string(), pf.ppki(*l, useful, instr)))
+            .collect();
+        tagged.push((w.suite(), Row::new(w.name(), values)));
+    }
+    tagged
+}
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig05-{}", l1pf.name()),
+        format!("Serving level of inaccurate L1D prefetches ({})", l1pf.name()),
+        "PPKI (prefetches per kilo-instruction)",
+    );
+    let columns: Vec<String> = SERVING_LEVELS.iter().map(|l| l.to_string()).collect();
+    let tagged = ppki_rows(h, l1pf, false);
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

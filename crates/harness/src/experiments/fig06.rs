@@ -1,0 +1,25 @@
+//! Figure 6: where *accurate* (eventually used) L1D prefetches were served
+//! from, in PPKI. Compared with Figure 5, the accurate-from-DRAM volume is
+//! tiny — dropping DRAM-bound prefetches sacrifices little coverage.
+
+use crate::report::ExperimentResult;
+use crate::runner::Harness;
+use crate::scheme::L1Pf;
+
+use super::fig05::{ppki_rows, SERVING_LEVELS};
+use super::mean_summaries;
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig06-{}", l1pf.name()),
+        format!("Serving level of accurate L1D prefetches ({})", l1pf.name()),
+        "PPKI (prefetches per kilo-instruction)",
+    );
+    let columns: Vec<String> = SERVING_LEVELS.iter().map(|l| l.to_string()).collect();
+    let tagged = ppki_rows(h, l1pf, true);
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

@@ -1,0 +1,34 @@
+//! Figure 10: single-core speedup of PPF, Hermes, Hermes+PPF and TLP over
+//! the baseline, for IPCP (10a) and Berti (10b).
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{geomean_summaries, pct_delta, sweep_single_core};
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig10-{}", l1pf.name()),
+        format!("Single-core speedup over baseline ({})", l1pf.name()),
+        "% speedup (geomean summaries)",
+    );
+    let schemes = Scheme::HEADLINE;
+    let columns: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
+    let data = sweep_single_core(h, &schemes, l1pf);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let base_ipc = reports[0].ipc();
+        let values: Vec<(String, f64)> = schemes
+            .iter()
+            .zip(&reports[1..])
+            .map(|(s, r)| (s.name().to_string(), pct_delta(r.ipc(), base_ipc)))
+            .collect();
+        tagged.push((w.suite(), Row::new(w.name(), values)));
+    }
+    result.summary = geomean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

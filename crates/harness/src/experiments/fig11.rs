@@ -1,0 +1,40 @@
+//! Figure 11: single-core increase in DRAM transactions for PPF, Hermes,
+//! Hermes+PPF and TLP over the baseline. TLP is the only scheme expected
+//! to *reduce* traffic.
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{mean_summaries, pct_delta, sweep_single_core};
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig11-{}", l1pf.name()),
+        format!("Single-core ΔDRAM transactions ({})", l1pf.name()),
+        "% vs baseline (lower is better)",
+    );
+    let schemes = Scheme::HEADLINE;
+    let columns: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
+    let data = sweep_single_core(h, &schemes, l1pf);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let base = reports[0].dram_transactions() as f64;
+        let values: Vec<(String, f64)> = schemes
+            .iter()
+            .zip(&reports[1..])
+            .map(|(s, r)| {
+                (
+                    s.name().to_string(),
+                    pct_delta(r.dram_transactions() as f64, base),
+                )
+            })
+            .collect();
+        tagged.push((w.suite(), Row::new(w.name(), values)));
+    }
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

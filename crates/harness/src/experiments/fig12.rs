@@ -1,0 +1,35 @@
+//! Figure 12: accuracy of the L1D prefetcher (useful / determined
+//! prefetches) under each scheme. TLP's SLP filter raises accuracy by
+//! discarding DRAM-bound prefetches.
+
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{mean_summaries, sweep_single_core};
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig12-{}", l1pf.name()),
+        format!("L1D prefetcher accuracy ({})", l1pf.name()),
+        "% accuracy",
+    );
+    let schemes = Scheme::HEADLINE;
+    let mut columns = vec!["Baseline".to_string()];
+    columns.extend(schemes.iter().map(|s| s.name().to_string()));
+    let data = sweep_single_core(h, &schemes, l1pf);
+    let mut tagged = Vec::new();
+    for (w, reports) in &data {
+        let values: Vec<(String, f64)> = columns
+            .iter()
+            .zip(reports)
+            .map(|(c, r)| (c.clone(), r.cores[0].l1_prefetch.accuracy() * 100.0))
+            .collect();
+        tagged.push((w.suite(), Row::new(w.name(), values)));
+    }
+    result.summary = mean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

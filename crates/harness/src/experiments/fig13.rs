@@ -1,0 +1,46 @@
+//! Figure 13: multi-core (4-core) weighted speedup of PPF, Hermes,
+//! Hermes+PPF and TLP over the baseline.
+//!
+//! The metric follows §V-D: per mix, weighted IPC = Σ IPC_shared/IPC_single
+//! (isolation IPC measured on the same scheme); the reported speedup is
+//! the ratio of weighted IPCs scheme/baseline.
+
+use crate::mix::generate_mixes;
+use crate::report::{ExperimentResult, Row};
+use crate::runner::Harness;
+use crate::scheme::{L1Pf, Scheme};
+
+use super::{geomean_summaries, pct_delta};
+
+/// Per-core isolation bandwidth used for IPC_single (the workload alone on
+/// the multi-core machine can use the full bus).
+pub const SINGLE_GBPS: f64 = 12.8;
+
+/// Runs the experiment for one L1D prefetcher.
+#[must_use]
+pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("fig13-{}", l1pf.name()),
+        format!("4-core weighted speedup over baseline ({})", l1pf.name()),
+        "% speedup (geomean summaries)",
+    );
+    let schemes = Scheme::HEADLINE;
+    let columns: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
+    let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
+    let tagged = h.parallel_map(mixes, |m| {
+        let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
+        let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, SINGLE_GBPS);
+        let values: Vec<(String, f64)> = schemes
+            .iter()
+            .map(|&s| {
+                let r = h.run_mix(&m.workloads, s, l1pf, None);
+                let ws = h.weighted_ipc(&m.workloads, &r, s, l1pf, SINGLE_GBPS);
+                (s.name().to_string(), pct_delta(ws, base_ws))
+            })
+            .collect();
+        (m.suite, Row::new(m.name.clone(), values))
+    });
+    result.summary = geomean_summaries(&tagged, &columns);
+    result.rows = tagged.into_iter().map(|(_, r)| r).collect();
+    result
+}

@@ -1,0 +1,124 @@
+//! One module per paper figure/table. Each `run` function returns an
+//! [`crate::report::ExperimentResult`] with the same rows/series the paper
+//! plots (per-workload values plus the SPEC/GAP/ALL summaries).
+
+pub mod ext01_offchip;
+pub mod ext02_replacement;
+pub mod ext03_thresholds;
+pub mod ext04_features;
+pub mod ext05_storage;
+pub mod ext06_victim;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod tables;
+
+use std::sync::Arc;
+
+use tlp_trace::emit::{Suite, Workload};
+
+use crate::report::Row;
+use crate::runner::{geomean_speedup_percent, mean, Harness};
+use crate::scheme::{L1Pf, Scheme};
+
+/// Percent change from `base` to `new` (positive = increase).
+#[must_use]
+pub(crate) fn pct_delta(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (new / base - 1.0) * 100.0
+}
+
+/// Runs `schemes` (plus `Baseline`) over the active workload set in
+/// parallel, returning `(workload, suite, per-scheme reports)` where index
+/// 0 is always the baseline.
+pub(crate) fn sweep_single_core(
+    h: &Harness,
+    schemes: &[Scheme],
+    l1pf: L1Pf,
+) -> Vec<(Arc<dyn Workload>, Vec<tlp_sim::SimReport>)> {
+    let workloads = h.active_workloads();
+    let mut all = vec![Scheme::Baseline];
+    all.extend_from_slice(schemes);
+    h.parallel_map(workloads, |w| {
+        let reports = all.iter().map(|&s| h.run_single(w, s, l1pf)).collect();
+        (w.clone(), reports)
+    })
+}
+
+/// Appends SPEC / GAP / ALL summary rows to per-workload rows.
+///
+/// `summarize` receives the values of one column for one group and reduces
+/// them (mean or geomean).
+pub(crate) fn suite_summaries<F>(
+    rows: &[(Suite, Row)],
+    columns: &[String],
+    summarize: F,
+) -> Vec<Row>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut out = Vec::new();
+    for (label, filter) in [
+        ("SPEC avg", Some(Suite::Spec)),
+        ("GAP avg", Some(Suite::Gap)),
+        ("ALL avg", None),
+    ] {
+        let mut values = Vec::new();
+        for col in columns {
+            let xs: Vec<f64> = rows
+                .iter()
+                .filter(|(s, _)| filter.is_none() || Some(*s) == filter)
+                .filter_map(|(_, r)| r.get(col))
+                .collect();
+            values.push((col.clone(), summarize(&xs)));
+        }
+        out.push(Row::new(label, values));
+    }
+    out
+}
+
+/// Mean-based summaries.
+pub(crate) fn mean_summaries(rows: &[(Suite, Row)], columns: &[String]) -> Vec<Row> {
+    suite_summaries(rows, columns, mean)
+}
+
+/// Geomean-based summaries (for speedup percentages).
+pub(crate) fn geomean_summaries(rows: &[(Suite, Row)], columns: &[String]) -> Vec<Row> {
+    suite_summaries(rows, columns, geomean_speedup_percent)
+}
+
+/// Per-scheme single-core summary used by the extension sweeps:
+/// `(geomean speedup %, mean ΔDRAM %)` for each scheme against the
+/// baseline, over the active workload set with prefetcher `l1pf`.
+pub(crate) fn speedup_and_dram(h: &Harness, schemes: &[Scheme], l1pf: L1Pf) -> Vec<(f64, f64)> {
+    let data = sweep_single_core(h, schemes, l1pf);
+    (0..schemes.len())
+        .map(|i| {
+            let mut speedups = Vec::new();
+            let mut deltas = Vec::new();
+            for (_, reports) in &data {
+                let base = &reports[0];
+                let r = &reports[i + 1];
+                speedups.push(pct_delta(r.ipc(), base.ipc()));
+                deltas.push(pct_delta(
+                    r.dram_transactions() as f64,
+                    base.dram_transactions() as f64,
+                ));
+            }
+            (geomean_speedup_percent(&speedups), mean(&deltas))
+        })
+        .collect()
+}

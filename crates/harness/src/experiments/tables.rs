@@ -1,0 +1,146 @@
+//! Tables II–V: storage accounting, system configuration, and the GAP
+//! kernel/graph inventory.
+
+use tlp_core::storage::storage_report;
+use tlp_core::TlpConfig;
+use tlp_sim::SystemConfig;
+use tlp_trace::catalog::Scale;
+use tlp_trace::gap::{Graph, GraphKind, GraphScale, Kernel};
+
+use crate::report::{ExperimentResult, Row};
+
+/// Table II: the TLP storage budget.
+#[must_use]
+pub fn table2() -> ExperimentResult {
+    let mut result = ExperimentResult::new("table2", "Storage overhead of TLP", "KB");
+    let r = storage_report(&TlpConfig::paper());
+    let kb = |bits: usize| bits as f64 / 8.0 / 1024.0;
+    result.rows = vec![
+        Row::new(
+            "FLP",
+            vec![
+                ("weights".into(), kb(r.flp_weights_bits)),
+                ("page buffer".into(), kb(r.flp_page_buffer_bits)),
+                ("subtotal".into(), r.flp_kb()),
+            ],
+        ),
+        Row::new(
+            "SLP",
+            vec![
+                ("weights".into(), kb(r.slp_weights_bits)),
+                ("page buffer".into(), kb(r.slp_page_buffer_bits)),
+                ("subtotal".into(), r.slp_kb()),
+            ],
+        ),
+        Row::new(
+            "LQ metadata",
+            vec![("subtotal".into(), kb(r.lq_metadata_bits))],
+        ),
+        Row::new(
+            "L1D MSHR metadata",
+            vec![("subtotal".into(), kb(r.mshr_metadata_bits))],
+        ),
+    ];
+    result
+        .summary
+        .push(Row::new("Total", vec![("KB".into(), r.total_kb())]));
+    result
+}
+
+/// Table III: the simulated system configuration (headline numbers).
+#[must_use]
+pub fn table3() -> ExperimentResult {
+    let mut result =
+        ExperimentResult::new("table3", "System configuration (Cascade Lake-like)", "various");
+    let c1 = SystemConfig::cascade_lake(1);
+    let c4 = SystemConfig::cascade_lake(4);
+    result.rows = vec![
+        Row::new(
+            "core",
+            vec![
+                ("width".into(), c1.core.fetch_width as f64),
+                ("ROB".into(), c1.core.rob as f64),
+                ("LQ".into(), c1.core.load_queue as f64),
+                ("SQ".into(), c1.core.store_queue as f64),
+            ],
+        ),
+        Row::new(
+            "L1D KB",
+            vec![
+                ("size".into(), c1.l1d.capacity_bytes() as f64 / 1024.0),
+                ("ways".into(), c1.l1d.ways as f64),
+                ("latency".into(), c1.l1d.latency as f64),
+                ("mshr".into(), c1.l1d.mshrs as f64),
+            ],
+        ),
+        Row::new(
+            "L2 KB",
+            vec![
+                ("size".into(), c1.l2.capacity_bytes() as f64 / 1024.0),
+                ("ways".into(), c1.l2.ways as f64),
+                ("latency".into(), c1.l2.latency as f64),
+                ("mshr".into(), c1.l2.mshrs as f64),
+            ],
+        ),
+        Row::new(
+            "LLC KB (1c)",
+            vec![
+                ("size".into(), c1.llc.capacity_bytes() as f64 / 1024.0),
+                ("ways".into(), c1.llc.ways as f64),
+                ("latency".into(), c1.llc.latency as f64),
+            ],
+        ),
+        Row::new(
+            "LLC KB (4c)",
+            vec![
+                ("size".into(), c4.llc.capacity_bytes() as f64 / 1024.0),
+                ("ways".into(), c4.llc.ways as f64),
+                ("latency".into(), c4.llc.latency as f64),
+            ],
+        ),
+        Row::new(
+            "DRAM",
+            vec![
+                ("GB/s (1c)".into(), c1.dram.bus_gbps),
+                ("GB/s (4c)".into(), c4.dram.bus_gbps),
+                ("tCAS".into(), c1.dram.t_cas as f64),
+                ("banks".into(), c1.dram.banks as f64),
+            ],
+        ),
+    ];
+    result
+}
+
+/// Tables IV & V: the GAP kernels and (scaled) input graphs actually built.
+#[must_use]
+pub fn table45(scale: Scale) -> ExperimentResult {
+    let gscale = match scale {
+        Scale::Tiny => GraphScale::Tiny,
+        Scale::Quick => GraphScale::Quick,
+        Scale::Full => GraphScale::Full,
+    };
+    let mut result = ExperimentResult::new(
+        "table45",
+        "GAP kernels and input graphs (scaled reproduction)",
+        "counts",
+    );
+    for kind in GraphKind::ALL {
+        let g = Graph::build(kind, gscale, tlp_trace::catalog::GRAPH_SEED);
+        let n = g.num_vertices();
+        let max_deg = (0..n).map(|v| g.degree(v)).max().unwrap_or(0);
+        result.rows.push(Row::new(
+            kind.name(),
+            vec![
+                ("vertices".into(), f64::from(n)),
+                ("edges".into(), g.num_edges() as f64 / 2.0),
+                ("avg deg".into(), g.num_edges() as f64 / f64::from(n)),
+                ("max deg".into(), f64::from(max_deg)),
+            ],
+        ));
+    }
+    result.summary.push(Row::new(
+        "kernels",
+        vec![("count".into(), Kernel::ALL.len() as f64)],
+    ));
+    result
+}

@@ -1,0 +1,28 @@
+//! `tlp-harness`: the experiment harness that regenerates every table and
+//! figure of the TLP paper (HPCA 2024).
+//!
+//! The harness composes the workspace: workloads from `tlp-trace`, the
+//! simulator from `tlp-sim`, prefetchers from `tlp-prefetch`, baselines
+//! from `tlp-baselines`, and the TLP predictor from `tlp-core`. Each
+//! experiment module in [`experiments`] produces an [`report::ExperimentResult`]
+//! containing the same rows/series the paper plots; `tlp-repro` (the CLI)
+//! renders them as text tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tlp_harness::{Harness, RunConfig};
+//!
+//! let h = Harness::new(RunConfig::quick());
+//! let result = tlp_harness::experiments::fig10::run(&h, tlp_harness::L1Pf::Ipcp);
+//! println!("{}", result.render());
+//! ```
+
+pub mod experiments;
+pub mod mix;
+pub mod report;
+pub mod runner;
+pub mod scheme;
+
+pub use runner::{Harness, RunConfig};
+pub use scheme::{L1Pf, Scheme, TlpParams};

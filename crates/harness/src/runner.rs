@@ -1,0 +1,419 @@
+//! The run orchestrator: trace capture/caching, system assembly, parallel
+//! sweeps, and the single-core IPC cache that weighted speedup needs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tlp_sim::engine::System;
+use tlp_sim::{SimReport, SystemConfig};
+use tlp_trace::catalog::{self, Scale};
+use tlp_trace::emit::Workload;
+use tlp_trace::{TraceRecord, VecTrace};
+
+use crate::scheme::{L1Pf, Scheme};
+
+/// Simulation budgets and scale for a harness session.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Workload scale (graph sizes, working sets).
+    pub scale: Scale,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Multi-core mixes evaluated per suite (paper: 100).
+    pub mixes_per_suite: usize,
+    /// Single-core workloads per suite (None = the full 24+31 catalog).
+    pub workloads_per_suite: Option<usize>,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// Unit/integration-test budget: tiny graphs, 25 K instructions.
+    #[must_use]
+    pub fn test() -> Self {
+        Self {
+            scale: Scale::Tiny,
+            warmup: 5_000,
+            instructions: 25_000,
+            mixes_per_suite: 2,
+            workloads_per_suite: Some(2),
+            threads: available_threads(),
+        }
+    }
+
+    /// Bench/CI budget: Quick scale, 100 K instructions.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Quick,
+            warmup: 20_000,
+            instructions: 100_000,
+            mixes_per_suite: 4,
+            workloads_per_suite: Some(6),
+            threads: available_threads(),
+        }
+    }
+
+    /// Full harness runs: Full scale, 1 M instructions.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            warmup: 200_000,
+            instructions: 1_000_000,
+            mixes_per_suite: 12,
+            workloads_per_suite: None,
+            threads: available_threads(),
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The harness: cached traces, cached single-core IPCs, and run helpers.
+pub struct Harness {
+    /// The active run configuration.
+    pub rc: RunConfig,
+    workloads: Vec<Arc<dyn Workload>>,
+    traces: RwLock<HashMap<String, Arc<Vec<TraceRecord>>>>,
+    ipc_cache: RwLock<HashMap<String, f64>>,
+    report_cache: RwLock<HashMap<String, SimReport>>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("rc", &self.rc)
+            .field("workloads", &self.workloads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Harness {
+    /// Builds the harness and the 55-workload catalog at the configured
+    /// scale.
+    #[must_use]
+    pub fn new(rc: RunConfig) -> Self {
+        Self {
+            rc,
+            workloads: catalog::single_core_set(rc.scale),
+            traces: RwLock::new(HashMap::new()),
+            ipc_cache: RwLock::new(HashMap::new()),
+            report_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The single-core workload set (SPEC first, then GAP).
+    #[must_use]
+    pub fn workloads(&self) -> &[Arc<dyn Workload>] {
+        &self.workloads
+    }
+
+    /// The workload set experiments sweep: the full catalog, or the
+    /// configured per-suite subset.
+    #[must_use]
+    pub fn active_workloads(&self) -> Vec<Arc<dyn Workload>> {
+        match self.rc.workloads_per_suite {
+            None => self.workloads.clone(),
+            Some(n) => self.workload_subset(n),
+        }
+    }
+
+    /// Workload names grouped by suite: `(spec, gap)`.
+    #[must_use]
+    pub fn suite_names(&self) -> (Vec<String>, Vec<String>) {
+        let mut spec = Vec::new();
+        let mut gap = Vec::new();
+        for w in &self.workloads {
+            match w.suite() {
+                tlp_trace::emit::Suite::Spec => spec.push(w.name().to_owned()),
+                tlp_trace::emit::Suite::Gap => gap.push(w.name().to_owned()),
+            }
+        }
+        (spec, gap)
+    }
+
+    /// A subset of workloads for quick sweeps: every `stride`-th workload
+    /// of each suite.
+    #[must_use]
+    pub fn workload_subset(&self, per_suite: usize) -> Vec<Arc<dyn Workload>> {
+        let (spec, gap) = self.suite_names();
+        let pick = |names: &[String]| -> Vec<String> {
+            let step = (names.len() / per_suite.max(1)).max(1);
+            names.iter().step_by(step).take(per_suite).cloned().collect()
+        };
+        let mut chosen: Vec<String> = pick(&spec);
+        chosen.extend(pick(&gap));
+        self.workloads
+            .iter()
+            .filter(|w| chosen.iter().any(|c| c == w.name()))
+            .cloned()
+            .collect()
+    }
+
+    /// Captured (and cached) trace for a workload, long enough for the
+    /// configured warmup + measurement.
+    #[must_use]
+    pub fn trace_for(&self, w: &Arc<dyn Workload>) -> VecTrace {
+        let name = w.name().to_owned();
+        if let Some(recs) = self.traces.read().get(&name) {
+            return VecTrace::looping(name, recs.as_ref().clone());
+        }
+        let budget = (self.rc.warmup + self.rc.instructions) as usize + 4096;
+        let recs = Arc::new(tlp_trace::source::capture(w.as_ref(), budget));
+        self.traces.write().insert(name.clone(), Arc::clone(&recs));
+        VecTrace::looping(name, recs.as_ref().clone())
+    }
+
+    /// Runs one single-core simulation (cached per workload/scheme/l1pf).
+    #[must_use]
+    pub fn run_single(&self, w: &Arc<dyn Workload>, scheme: Scheme, l1pf: L1Pf) -> SimReport {
+        self.run_single_with_bandwidth(w, scheme, l1pf, None)
+    }
+
+    /// Runs one single-core simulation with an explicit per-core bandwidth
+    /// (cached).
+    #[must_use]
+    pub fn run_single_with_bandwidth(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    ) -> SimReport {
+        let key = format!(
+            "1c|{}|{}|{}|{:?}",
+            w.name(),
+            scheme.key(),
+            l1pf.name(),
+            gbps
+        );
+        if let Some(r) = self.report_cache.read().get(&key) {
+            return r.clone();
+        }
+        let cfg = match gbps {
+            Some(b) => SystemConfig::cascade_lake_with_bandwidth(1, b),
+            None => SystemConfig::cascade_lake(1),
+        };
+        let setup = scheme.build_setup(Box::new(self.trace_for(w)), l1pf);
+        let mut sys = System::new(cfg, vec![setup]);
+        let report = sys.run(self.rc.warmup, self.rc.instructions);
+        self.report_cache.write().insert(key, report.clone());
+        report
+    }
+
+    /// Runs one single-core simulation under an explicit [`SystemConfig`]
+    /// (cached; `tag` must uniquely identify the config deviation, e.g.
+    /// the LLC replacement policy).
+    #[must_use]
+    pub fn run_single_custom(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        cfg: SystemConfig,
+        tag: &str,
+    ) -> SimReport {
+        let key = format!("1c|{}|{}|{}|cfg:{tag}", w.name(), scheme.key(), l1pf.name());
+        if let Some(r) = self.report_cache.read().get(&key) {
+            return r.clone();
+        }
+        let setup = scheme.build_setup(Box::new(self.trace_for(w)), l1pf);
+        let mut sys = System::new(cfg, vec![setup]);
+        let report = sys.run(self.rc.warmup, self.rc.instructions);
+        self.report_cache.write().insert(key, report.clone());
+        report
+    }
+
+    /// Runs one 4-core mix (cached per mix/scheme/l1pf/bandwidth).
+    #[must_use]
+    pub fn run_mix(
+        &self,
+        ws: &[Arc<dyn Workload>; 4],
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    ) -> SimReport {
+        let key = format!(
+            "4c|{}+{}+{}+{}|{}|{}|{:?}",
+            ws[0].name(),
+            ws[1].name(),
+            ws[2].name(),
+            ws[3].name(),
+            scheme.key(),
+            l1pf.name(),
+            gbps
+        );
+        if let Some(r) = self.report_cache.read().get(&key) {
+            return r.clone();
+        }
+        let cfg = match gbps {
+            Some(b) => SystemConfig::cascade_lake_with_bandwidth(4, b),
+            None => SystemConfig::cascade_lake(4),
+        };
+        let setups = ws
+            .iter()
+            .map(|w| scheme.build_setup(Box::new(self.trace_for(w)), l1pf))
+            .collect();
+        let mut sys = System::new(cfg, setups);
+        let report = sys.run(self.rc.warmup, self.rc.instructions);
+        self.report_cache.write().insert(key, report.clone());
+        report
+    }
+
+    /// Cached single-core IPC of `w` under `scheme` (isolation run on the
+    /// multi-core per-core bandwidth), as weighted speedup requires.
+    #[must_use]
+    pub fn single_ipc(&self, w: &Arc<dyn Workload>, scheme: Scheme, l1pf: L1Pf, gbps: f64) -> f64 {
+        let key = format!("{}|{}|{}|{gbps}", w.name(), scheme.key(), l1pf.name());
+        if let Some(&ipc) = self.ipc_cache.read().get(&key) {
+            return ipc;
+        }
+        let report = self.run_single_with_bandwidth(w, scheme, l1pf, Some(gbps));
+        let ipc = report.ipc();
+        self.ipc_cache.write().insert(key, ipc);
+        ipc
+    }
+
+    /// Weighted speedup of a mix report relative to per-workload isolation
+    /// IPCs (paper §V-D): Σ IPC_shared / IPC_single.
+    #[must_use]
+    pub fn weighted_ipc(
+        &self,
+        ws: &[Arc<dyn Workload>; 4],
+        mix_report: &SimReport,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: f64,
+    ) -> f64 {
+        ws.iter()
+            .zip(&mix_report.cores)
+            .map(|(w, core)| {
+                let single = self.single_ipc(w, scheme, l1pf, gbps);
+                if single <= 0.0 {
+                    0.0
+                } else {
+                    core.core.ipc() / single
+                }
+            })
+            .sum()
+    }
+
+    /// Maps `f` over `items` on the configured number of worker threads,
+    /// preserving order.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.rc.threads.max(1);
+        if threads == 1 || items.len() <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let n = items.len();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+        let (items_ref, f_ref, next_ref) = (&items, &f, &next);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                let tx = tx.clone();
+                scope.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f_ref(&items_ref[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        drop(tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = rx.recv() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index produced"))
+            .collect()
+    }
+}
+
+/// Geometric mean of (1 + x) ratios expressed as percent deltas:
+/// `geomean_speedup_percent([5.0, 10.0])` treats inputs as +5%, +10%.
+#[must_use]
+pub fn geomean_speedup_percent(percents: &[f64]) -> f64 {
+    if percents.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = percents
+        .iter()
+        .map(|p| (1.0 + p / 100.0).max(1e-9).ln())
+        .sum();
+    ((log_sum / percents.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_uniform_is_identity() {
+        assert!((geomean_speedup_percent(&[10.0, 10.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_mixes_gains_and_losses() {
+        let g = geomean_speedup_percent(&[50.0, -33.333_333_333]);
+        assert!(g.abs() < 0.01, "×1.5 and ×(2/3) must cancel: {g}");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let h = Harness::new(RunConfig::test());
+        let out = h.parallel_map((0..100).collect(), |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_cache_returns_identical_traces() {
+        let h = Harness::new(RunConfig::test());
+        let w = &h.workloads()[0].clone();
+        let mut a = h.trace_for(w);
+        let mut b = h.trace_for(w);
+        use tlp_trace::TraceSource;
+        for _ in 0..100 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn subset_takes_from_both_suites() {
+        let h = Harness::new(RunConfig::test());
+        let sub = h.workload_subset(2);
+        assert_eq!(sub.len(), 4);
+        let suites: std::collections::HashSet<_> =
+            sub.iter().map(|w| w.suite()).collect();
+        assert_eq!(suites.len(), 2);
+    }
+}

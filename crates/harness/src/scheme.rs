@@ -1,0 +1,392 @@
+//! The evaluated schemes (paper §V-E plus extension studies) and L1D
+//! prefetcher choices.
+
+use tlp_baselines::{Hermes, HermesConfig, Lp, LpConfig, Ppf, PpfConfig};
+use tlp_core::variants::TlpVariant;
+use tlp_core::{Flp, OffChipPerceptronConfig, Slp, TlpConfig};
+use tlp_prefetch::{Berti, Ipcp, NextLine, Spp, SppConfig, StridePrefetcher};
+use tlp_sim::engine::CoreSetup;
+use tlp_sim::hooks::L1Prefetcher;
+use tlp_trace::TraceSource;
+
+/// The L1D prefetcher driving the system (the paper evaluates IPCP and
+/// Berti; the rest support tests and ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1Pf {
+    /// No L1D prefetching.
+    None,
+    /// IPCP (the paper's primary configuration).
+    Ipcp,
+    /// Berti.
+    Berti,
+    /// IPCP with 4× tables (Figure 17's "+7 KB").
+    IpcpExtra,
+    /// Berti with 4× tables (Figure 17's "+7 KB").
+    BertiExtra,
+    /// Next-line (ablation/reference).
+    NextLine,
+    /// Per-PC stride (ablation/reference).
+    Stride,
+}
+
+impl L1Pf {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            L1Pf::None => "none",
+            L1Pf::Ipcp => "ipcp",
+            L1Pf::Berti => "berti",
+            L1Pf::IpcpExtra => "ipcp+7KB",
+            L1Pf::BertiExtra => "berti+7KB",
+            L1Pf::NextLine => "next-line",
+            L1Pf::Stride => "stride",
+        }
+    }
+
+    fn build(self) -> Box<dyn L1Prefetcher> {
+        match self {
+            L1Pf::None => Box::new(tlp_sim::hooks::NoL1Prefetcher),
+            L1Pf::Ipcp => Box::new(Ipcp::new()),
+            L1Pf::Berti => Box::new(Berti::new()),
+            L1Pf::IpcpExtra => Box::new(Ipcp::with_scale(4)),
+            L1Pf::BertiExtra => Box::new(Berti::with_scale(4)),
+            L1Pf::NextLine => Box::new(NextLine::new(1)),
+            L1Pf::Stride => Box::new(StridePrefetcher::default()),
+        }
+    }
+}
+
+/// Knobs for a parameterized TLP (the sensitivity extension experiments:
+/// threshold sweeps, drop-one-feature, storage resizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlpParams {
+    /// FLP issue-immediately threshold τ_high.
+    pub tau_high: i32,
+    /// FLP predict-off-chip threshold τ_low.
+    pub tau_low: i32,
+    /// SLP discard threshold τ_pref.
+    pub tau_pref: i32,
+    /// Weight-table resize factor `(num, den)`; `(1, 1)` is Table II.
+    pub resize: (u8, u8),
+    /// Base feature dropped from both FLP and SLP (None = all five).
+    pub drop_feature: Option<u8>,
+}
+
+impl TlpParams {
+    /// The paper's operating point.
+    #[must_use]
+    pub fn paper() -> Self {
+        let flp = tlp_core::FlpConfig::paper();
+        let slp = tlp_core::SlpConfig::paper();
+        Self {
+            tau_high: flp.tau_high,
+            tau_low: flp.tau_low,
+            tau_pref: slp.tau_pref,
+            resize: (1, 1),
+            drop_feature: None,
+        }
+    }
+
+    /// Materializes a [`TlpConfig`] with these knobs applied.
+    #[must_use]
+    pub fn build_config(self) -> TlpConfig {
+        let perceptron = match self.drop_feature {
+            Some(i) => OffChipPerceptronConfig::without_feature(i as usize),
+            None => OffChipPerceptronConfig::resized(self.resize.0 as usize, self.resize.1 as usize),
+        };
+        let mut cfg = TlpConfig::paper();
+        cfg.flp.perceptron = perceptron;
+        cfg.flp.tau_high = self.tau_high;
+        cfg.flp.tau_low = self.tau_low;
+        cfg.slp.perceptron = perceptron;
+        cfg.slp.tau_pref = self.tau_pref;
+        // The leveling table resizes with the rest of the budget.
+        let scaled = (cfg.slp.leveling_table * self.resize.0 as usize / self.resize.1 as usize)
+            .max(16)
+            .next_power_of_two();
+        cfg.slp.leveling_table = if scaled.is_power_of_two() && scaled <= 4096 {
+            scaled
+        } else {
+            512
+        };
+        cfg
+    }
+
+    /// A short display label, e.g. `τh=14 τl=2 τp=6`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "τh={} τl={} τp={}",
+            self.tau_high, self.tau_low, self.tau_pref
+        );
+        if self.resize != (1, 1) {
+            s.push_str(&format!(" ×{}/{}", self.resize.0, self.resize.1));
+        }
+        if let Some(f) = self.drop_feature {
+            s.push_str(&format!(" -f{f}"));
+        }
+        s
+    }
+}
+
+impl Default for TlpParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The compared mechanisms (paper §V-E plus the Figure-15/17 variants and
+/// the extension studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Table III system: L1D prefetcher + standard SPP at L2, no off-chip
+    /// prediction, no filtering.
+    Baseline,
+    /// Aggressive SPP + PPF filter at L2.
+    Ppf,
+    /// Baseline + Hermes off-chip predictor.
+    Hermes,
+    /// Hermes and PPF together.
+    HermesPpf,
+    /// The full TLP proposal (FLP + SLP).
+    Tlp,
+    /// A Figure-15 ablation variant.
+    Variant(TlpVariant),
+    /// Hermes with TLP's 7 KB storage budget added (Figure 17).
+    HermesExtra,
+    /// Level Prediction (Jalili & Erez, HPCA 2022) — related-work
+    /// comparison (extension experiment E1).
+    Lp,
+    /// TLP with explicit sensitivity knobs (extension experiments E3–E5).
+    TlpCustom(TlpParams),
+    /// "Hermes+TLP" (§VI-B2): TLP's SLP filter with FLP issuing at the
+    /// core like Hermes (no selective delay). The paper notes this wins
+    /// over TLP only under unrealistically abundant DRAM bandwidth.
+    HermesTlp,
+}
+
+impl Scheme {
+    /// The four headline schemes of Figures 10–14.
+    pub const HEADLINE: [Scheme; 4] = [Scheme::Ppf, Scheme::Hermes, Scheme::HermesPpf, Scheme::Tlp];
+
+    /// Display name (matches the paper's legends).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::Ppf => "PPF",
+            Scheme::Hermes => "Hermes",
+            Scheme::HermesPpf => "Hermes+PPF",
+            Scheme::Tlp => "TLP",
+            Scheme::Variant(v) => v.name(),
+            Scheme::HermesExtra => "Hermes+7KB",
+            Scheme::Lp => "LP",
+            Scheme::TlpCustom(_) => "TLP*",
+            Scheme::HermesTlp => "Hermes+TLP",
+        }
+    }
+
+    /// Stable key for caches.
+    #[must_use]
+    pub fn key(self) -> String {
+        match self {
+            Scheme::Variant(v) => format!("variant:{}", v.name()),
+            Scheme::TlpCustom(p) => format!("tlp:{p:?}"),
+            other => other.name().to_owned(),
+        }
+    }
+
+    /// Assembles a [`CoreSetup`] for this scheme around a trace.
+    #[must_use]
+    pub fn build_setup(self, trace: Box<dyn TraceSource>, l1pf: L1Pf) -> CoreSetup {
+        let mut setup = CoreSetup::new(trace).with_l1_prefetcher(l1pf.build());
+        match self {
+            Scheme::Baseline => {
+                setup = setup.with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())));
+            }
+            Scheme::Ppf => {
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::aggressive())))
+                    .with_l2_filter(Box::new(Ppf::new(PpfConfig::paper())));
+            }
+            Scheme::Hermes => {
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+                    .with_offchip(Box::new(Hermes::new(HermesConfig::paper())));
+            }
+            Scheme::HermesPpf => {
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::aggressive())))
+                    .with_l2_filter(Box::new(Ppf::new(PpfConfig::paper())))
+                    .with_offchip(Box::new(Hermes::new(HermesConfig::paper())));
+            }
+            Scheme::Tlp => {
+                return Scheme::Variant(TlpVariant::Full).build_setup_inner(setup);
+            }
+            Scheme::Variant(_) => {
+                return self.build_setup_inner(setup);
+            }
+            Scheme::HermesExtra => {
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+                    .with_offchip(Box::new(Hermes::new(HermesConfig::with_extra_storage())));
+            }
+            Scheme::Lp => {
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+                    .with_offchip(Box::new(Lp::new(LpConfig::hpca22())));
+            }
+            Scheme::TlpCustom(params) => {
+                let cfg = params.build_config();
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+                    .with_offchip(Box::new(Flp::new(cfg.flp)))
+                    .with_l1_filter(Box::new(Slp::new(cfg.slp)));
+            }
+            Scheme::HermesTlp => {
+                let cfg = TlpConfig::paper();
+                setup = setup
+                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+                    .with_offchip(Box::new(Flp::new(tlp_core::FlpConfig {
+                        delay: tlp_core::DelayMode::Never,
+                        ..cfg.flp
+                    })))
+                    .with_l1_filter(Box::new(Slp::new(cfg.slp)));
+            }
+        }
+        setup
+    }
+
+    fn build_setup_inner(self, mut setup: CoreSetup) -> CoreSetup {
+        let Scheme::Variant(v) = self else {
+            unreachable!("only called for variants");
+        };
+        setup = setup.with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())));
+        let (flp, slp) = v.build(&TlpConfig::paper());
+        if let Some(flp) = flp {
+            setup = setup.with_offchip(Box::new(flp));
+        }
+        if let Some(slp) = slp {
+            setup = setup.with_l1_filter(Box::new(slp));
+        }
+        setup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_trace::{TraceRecord, VecTrace};
+
+    fn trace() -> Box<dyn TraceSource> {
+        let recs = vec![TraceRecord::alu(0, None, [None, None])];
+        Box::new(VecTrace::looping("t", recs))
+    }
+
+    #[test]
+    fn every_scheme_builds() {
+        for s in [
+            Scheme::Baseline,
+            Scheme::Ppf,
+            Scheme::Hermes,
+            Scheme::HermesPpf,
+            Scheme::Tlp,
+            Scheme::HermesExtra,
+            Scheme::Lp,
+            Scheme::TlpCustom(TlpParams::paper()),
+            Scheme::HermesTlp,
+        ] {
+            let _ = s.build_setup(trace(), L1Pf::Ipcp);
+        }
+        for v in TlpVariant::ALL {
+            let _ = Scheme::Variant(v).build_setup(trace(), L1Pf::Berti);
+        }
+    }
+
+    #[test]
+    fn custom_params_materialize() {
+        let p = TlpParams {
+            tau_high: 20,
+            tau_low: 4,
+            tau_pref: 10,
+            resize: (1, 2),
+            drop_feature: None,
+        };
+        let cfg = p.build_config();
+        assert_eq!(cfg.flp.tau_high, 20);
+        assert_eq!(cfg.flp.tau_low, 4);
+        assert_eq!(cfg.slp.tau_pref, 10);
+        assert_eq!(cfg.flp.perceptron.table_sizes[0], 512);
+        assert_eq!(cfg.slp.perceptron.table_sizes[0], 512);
+    }
+
+    #[test]
+    fn paper_params_reproduce_paper_config() {
+        let cfg = TlpParams::paper().build_config();
+        let paper = TlpConfig::paper();
+        assert_eq!(cfg.flp.tau_high, paper.flp.tau_high);
+        assert_eq!(cfg.flp.tau_low, paper.flp.tau_low);
+        assert_eq!(cfg.slp.tau_pref, paper.slp.tau_pref);
+        assert_eq!(
+            cfg.flp.perceptron.table_sizes,
+            paper.flp.perceptron.table_sizes
+        );
+        assert_eq!(cfg.slp.leveling_table, paper.slp.leveling_table);
+    }
+
+    #[test]
+    fn drop_feature_params_shrink_tables() {
+        let p = TlpParams {
+            drop_feature: Some(0),
+            ..TlpParams::paper()
+        };
+        let cfg = p.build_config();
+        assert_eq!(cfg.flp.perceptron.enabled_count(), 4);
+        assert!(p.label().contains("-f0"));
+    }
+
+    #[test]
+    fn custom_keys_distinguish_params() {
+        let a = Scheme::TlpCustom(TlpParams::paper());
+        let b = Scheme::TlpCustom(TlpParams {
+            tau_high: 99,
+            ..TlpParams::paper()
+        });
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.name(), "TLP*");
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<String> = vec![
+            Scheme::Baseline,
+            Scheme::Ppf,
+            Scheme::Hermes,
+            Scheme::HermesPpf,
+            Scheme::Tlp,
+            Scheme::HermesExtra,
+        ]
+        .into_iter()
+        .map(Scheme::key)
+        .collect();
+        keys.extend(TlpVariant::ALL.iter().map(|v| Scheme::Variant(*v).key()));
+        let set: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn l1pf_names_are_unique() {
+        let all = [
+            L1Pf::None,
+            L1Pf::Ipcp,
+            L1Pf::Berti,
+            L1Pf::IpcpExtra,
+            L1Pf::BertiExtra,
+            L1Pf::NextLine,
+            L1Pf::Stride,
+        ];
+        let set: std::collections::HashSet<&str> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

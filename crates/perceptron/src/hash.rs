@@ -1,0 +1,98 @@
+//! Hash helpers for feature index computation.
+//!
+//! Hardware perceptron predictors fold wide feature values (PCs, addresses,
+//! PC histories) down to a table index with a handful of XOR gates. We model
+//! that with an avalanching 64-bit mixer followed by XOR-folding, which keeps
+//! the software model deterministic while spreading indices the way a real
+//! folded-XOR indexing function would.
+
+/// Finalization step of SplitMix64; a cheap, high-quality 64-bit mixer.
+///
+/// ```
+/// # use tlp_perceptron::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combine two feature components into one value (order-sensitive).
+///
+/// ```
+/// # use tlp_perceptron::combine;
+/// assert_ne!(combine(1, 2), combine(2, 1));
+/// ```
+#[inline]
+#[must_use]
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32))
+}
+
+/// XOR-fold `x` down to `bits` bits (the classic hardware indexing trick).
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 63.
+///
+/// ```
+/// # use tlp_perceptron::fold;
+/// let i = fold(0xdead_beef_cafe_f00d, 10);
+/// assert!(i < 1024);
+/// ```
+#[inline]
+#[must_use]
+pub fn fold(mut x: u64, bits: u32) -> u64 {
+    assert!(bits > 0 && bits < 64, "fold width must be in 1..=63");
+    let mask = (1u64 << bits) - 1;
+    let mut out = 0u64;
+    while x != 0 {
+        out ^= x & mask;
+        x >>= bits;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0xabcd), mix64(0xabcd));
+        // Consecutive inputs land far apart.
+        let a = mix64(100);
+        let b = mix64(101);
+        assert!((a ^ b).count_ones() > 16, "poor avalanche: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn fold_respects_width() {
+        for bits in 1..20 {
+            for x in [0u64, 1, 0xffff_ffff, u64::MAX, 0x1234_5678_9abc_def0] {
+                assert!(fold(x, bits) < (1 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_zero_is_zero() {
+        assert_eq!(fold(0, 12), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold width")]
+    fn fold_rejects_zero_bits() {
+        let _ = fold(1, 0);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(0x11, 0x22), combine(0x22, 0x11));
+    }
+}

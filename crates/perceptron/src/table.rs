@@ -1,0 +1,269 @@
+//! Saturating weight counters and per-feature weight tables.
+
+/// A signed saturating counter of configurable bit width (2..=8 bits),
+/// the storage element of every perceptron weight table.
+///
+/// A `b`-bit counter saturates at `[-2^(b-1), 2^(b-1) - 1]`, matching the
+/// two's-complement range a hardware implementation would provide.
+///
+/// ```
+/// # use tlp_perceptron::SaturatingCounter;
+/// let mut c = SaturatingCounter::new(3); // range [-4, 3]
+/// for _ in 0..10 { c.increment(); }
+/// assert_eq!(c.value(), 3);
+/// for _ in 0..20 { c.decrement(); }
+/// assert_eq!(c.value(), -4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: i16,
+    min: i16,
+    max: i16,
+}
+
+impl SaturatingCounter {
+    /// Creates a zero-initialized counter of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "counter width must be in 2..=8");
+        let max = (1i16 << (bits - 1)) - 1;
+        Self {
+            value: 0,
+            min: -max - 1,
+            max,
+        }
+    }
+
+    /// Current counter value.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> i32 {
+        i32::from(self.value)
+    }
+
+    /// Inclusive saturation bounds `(min, max)`.
+    #[must_use]
+    pub fn bounds(&self) -> (i32, i32) {
+        (i32::from(self.min), i32::from(self.max))
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > self.min {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter toward the outcome: increment on `true`, decrement
+    /// on `false`.
+    #[inline]
+    pub fn update(&mut self, positive: bool) {
+        if positive {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Geometry of one weight table: entry count (power of two) and weight width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableSpec {
+    entries: usize,
+    weight_bits: u32,
+}
+
+impl TableSpec {
+    /// Creates a table spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `weight_bits` is outside
+    /// `2..=8`.
+    #[must_use]
+    pub fn new(entries: usize, weight_bits: u32) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries >= 2,
+            "table entries must be a power of two >= 2, got {entries}"
+        );
+        assert!(
+            (2..=8).contains(&weight_bits),
+            "weight width must be in 2..=8"
+        );
+        Self {
+            entries,
+            weight_bits,
+        }
+    }
+
+    /// Number of entries in the table.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Width of each weight in bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Total storage of this table in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.entries * self.weight_bits as usize
+    }
+}
+
+/// One perceptron weight table: a power-of-two array of saturating weights
+/// indexed by a folded feature hash.
+#[derive(Debug, Clone)]
+pub struct WeightTable {
+    spec: TableSpec,
+    weights: Vec<SaturatingCounter>,
+    index_bits: u32,
+}
+
+impl WeightTable {
+    /// Creates a zeroed weight table.
+    #[must_use]
+    pub fn new(spec: TableSpec) -> Self {
+        let index_bits = spec.entries().trailing_zeros();
+        Self {
+            spec,
+            weights: vec![SaturatingCounter::new(spec.weight_bits()); spec.entries()],
+            index_bits,
+        }
+    }
+
+    /// The table geometry.
+    #[must_use]
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// Folds a raw feature hash into a table index.
+    #[inline]
+    #[must_use]
+    pub fn index_of(&self, feature_hash: u64) -> usize {
+        crate::hash::fold(crate::hash::mix64(feature_hash), self.index_bits) as usize
+    }
+
+    /// Reads the weight at a previously computed index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn weight_at(&self, index: usize) -> i32 {
+        self.weights[index].value()
+    }
+
+    /// Trains the weight at `index` toward `positive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn train_at(&mut self, index: usize, positive: bool) {
+        self.weights[index].update(positive);
+    }
+
+    /// Resets all weights to zero.
+    pub fn reset(&mut self) {
+        for w in &mut self.weights {
+            w.reset();
+        }
+    }
+
+    /// Total storage of this table in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.spec.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_ways() {
+        let mut c = SaturatingCounter::new(5);
+        let (min, max) = c.bounds();
+        assert_eq!((min, max), (-16, 15));
+        for _ in 0..100 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 15);
+        for _ in 0..100 {
+            c.decrement();
+        }
+        assert_eq!(c.value(), -16);
+    }
+
+    #[test]
+    fn counter_update_follows_outcome() {
+        let mut c = SaturatingCounter::new(4);
+        c.update(true);
+        c.update(true);
+        c.update(false);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn counter_rejects_bad_width() {
+        let _ = SaturatingCounter::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn spec_rejects_non_power_of_two() {
+        let _ = TableSpec::new(100, 5);
+    }
+
+    #[test]
+    fn table_index_within_bounds() {
+        let t = WeightTable::new(TableSpec::new(256, 5));
+        for x in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert!(t.index_of(x) < 256);
+        }
+    }
+
+    #[test]
+    fn table_trains_at_index() {
+        let mut t = WeightTable::new(TableSpec::new(64, 5));
+        let i = t.index_of(0x42);
+        t.train_at(i, true);
+        t.train_at(i, true);
+        assert_eq!(t.weight_at(i), 2);
+        t.reset();
+        assert_eq!(t.weight_at(i), 0);
+    }
+
+    #[test]
+    fn storage_bits_matches_geometry() {
+        let t = WeightTable::new(TableSpec::new(1024, 5));
+        assert_eq!(t.storage_bits(), 5120);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the perceptron substrate.
+
+use proptest::prelude::*;
+use tlp_perceptron::{fold, mix64, HashedPerceptron, SaturatingCounter, TableSpec};
+
+proptest! {
+    /// Folding always stays within the requested width.
+    #[test]
+    fn fold_in_range(x in any::<u64>(), bits in 1u32..32) {
+        prop_assert!(fold(x, bits) < (1u64 << bits));
+    }
+
+    /// The mixer is a bijection-ish spreader: equal inputs, equal outputs.
+    #[test]
+    fn mix_deterministic(x in any::<u64>()) {
+        prop_assert_eq!(mix64(x), mix64(x));
+    }
+
+    /// Counters never leave their saturation bounds under any update sequence.
+    #[test]
+    fn counter_stays_bounded(bits in 2u32..=8, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits);
+        let (min, max) = c.bounds();
+        for up in ops {
+            c.update(up);
+            prop_assert!(c.value() >= min && c.value() <= max);
+        }
+    }
+
+    /// The perceptron sum never exceeds the theoretical bounds regardless of
+    /// the training sequence, and training toward an outcome never moves the
+    /// sum away from it.
+    #[test]
+    fn perceptron_sum_bounded(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..300),
+    ) {
+        let mut p = HashedPerceptron::new(&[TableSpec::new(64, 5), TableSpec::new(32, 5), TableSpec::new(128, 5)]);
+        let (lo, hi) = p.sum_bounds();
+        for (a, b, outcome) in ops {
+            let idx = p.indices(&[a ^ seed, b, a.wrapping_add(b)]);
+            let before = p.sum(&idx);
+            p.train(&idx, outcome);
+            let after = p.sum(&idx);
+            prop_assert!(after >= lo && after <= hi, "sum {after} outside [{lo},{hi}]");
+            if outcome {
+                prop_assert!(after >= before);
+            } else {
+                prop_assert!(after <= before);
+            }
+        }
+    }
+
+    /// Index resolution is a pure function of the hashes.
+    #[test]
+    fn indices_deterministic(a in any::<u64>(), b in any::<u64>()) {
+        let p = HashedPerceptron::new(&[TableSpec::new(256, 5), TableSpec::new(256, 5)]);
+        prop_assert_eq!(p.indices(&[a, b]), p.indices(&[a, b]));
+    }
+
+    /// Thresholded training converges: after enough positive examples the
+    /// predictor answers positive with confidence at least theta.
+    #[test]
+    fn thresholded_training_converges(a in any::<u64>(), b in any::<u64>(), theta in 1i32..20) {
+        let mut p = HashedPerceptron::new(&[TableSpec::new(64, 5), TableSpec::new(64, 5)]);
+        let idx = p.indices(&[a, b]);
+        for _ in 0..64 {
+            let sum = p.sum(&idx);
+            p.train_thresholded(&idx, true, sum, theta);
+        }
+        prop_assert!(p.sum(&idx) >= theta.min(p.sum_bounds().1));
+    }
+}

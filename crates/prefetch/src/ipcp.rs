@@ -1,0 +1,345 @@
+//! IPCP: Instruction Pointer Classification-based Prefetcher
+//! (Pakalapati & Panda, ISCA 2020) — the paper's primary L1D prefetcher.
+//!
+//! IPCP classifies each load IP into one of four classes and prefetches
+//! accordingly:
+//!
+//! * **CS** (constant stride): the IP repeats a stable line stride —
+//!   prefetch `degree` lines down the stride.
+//! * **CPLX** (complex stride): the stride varies but is predictable from a
+//!   signature of recent strides — predict the next strides through the
+//!   Complex Stride Prediction Table (CSPT) and chain prefetches with
+//!   decreasing confidence.
+//! * **GS** (global stream): the program streams through memory densely
+//!   (detected per region, across IPs) — prefetch aggressively ahead.
+//! * **NL** (next line): cold/unclassified IPs fall back to next-line.
+//!
+//! Class priority follows the paper: GS > CS > CPLX > NL.
+
+use tlp_sim::hooks::{DemandAccess, L1Prefetcher, PrefetchCandidate};
+use tlp_sim::types::{line_offset_in_page, page_of, LINE_SIZE};
+
+const IP_TABLE_SIZE: usize = 128;
+const CSPT_SIZE: usize = 512;
+const REGION_TABLE_SIZE: usize = 16;
+/// Lines per tracked region (a 4 KB page).
+const REGION_LINES: u64 = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IpEntry {
+    valid: bool,
+    tag: u16,
+    last_line: u64,
+    stride: i32,
+    cs_conf: u8,
+    signature: u16,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CsptEntry {
+    stride: i32,
+    conf: u8,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionEntry {
+    valid: bool,
+    page: u64,
+    touched: u64,
+    /// Population count of `touched` (cached).
+    dense: bool,
+    ascending: bool,
+    last_offset: u8,
+}
+
+/// The IPCP prefetcher.
+#[derive(Debug)]
+pub struct Ipcp {
+    ip_table: Vec<IpEntry>,
+    cspt: Vec<CsptEntry>,
+    regions: Vec<RegionEntry>,
+    region_clock: usize,
+    cs_degree: u64,
+    gs_degree: u64,
+}
+
+impl Ipcp {
+    /// Creates IPCP with the paper's default degrees (CS 3, GS 4).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_scale(1)
+    }
+
+    /// Creates IPCP with its tables enlarged by a power-of-two `scale`
+    /// (the Figure-17 "+7 KB storage" design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a power of two.
+    #[must_use]
+    pub fn with_scale(scale: usize) -> Self {
+        assert!(scale.is_power_of_two(), "scale must be a power of two");
+        Self {
+            ip_table: vec![IpEntry::default(); IP_TABLE_SIZE * scale],
+            cspt: vec![CsptEntry::default(); CSPT_SIZE * scale],
+            regions: vec![RegionEntry::default(); REGION_TABLE_SIZE],
+            region_clock: 0,
+            cs_degree: 4,
+            gs_degree: 6,
+        }
+    }
+
+    fn ip_index(&self, pc: u64) -> (usize, u16) {
+        let idx = ((pc >> 2) as usize) & (self.ip_table.len() - 1);
+        let tag = ((pc >> 9) & 0xffff) as u16;
+        (idx, tag)
+    }
+
+    fn sig_push(sig: u16, stride: i32) -> u16 {
+        // 12-bit signature: shift in the (signed, truncated) stride.
+        ((sig << 3) ^ (stride as u16 & 0x3f)) & 0xfff
+    }
+
+    fn track_region(&mut self, vaddr: u64) -> (bool, bool) {
+        let page = page_of(vaddr);
+        let offset = line_offset_in_page(vaddr) as u8;
+        if let Some(r) = self.regions.iter_mut().find(|r| r.valid && r.page == page) {
+            r.touched |= 1 << offset;
+            let count = r.touched.count_ones();
+            r.dense = count >= REGION_LINES as u32 / 2;
+            r.ascending = offset >= r.last_offset;
+            r.last_offset = offset;
+            return (r.dense, r.ascending);
+        }
+        let slot = self.region_clock % REGION_TABLE_SIZE;
+        self.region_clock += 1;
+        self.regions[slot] = RegionEntry {
+            valid: true,
+            page,
+            touched: 1 << offset,
+            dense: false,
+            ascending: true,
+            last_offset: offset,
+        };
+        (false, true)
+    }
+}
+
+impl Default for Ipcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl L1Prefetcher for Ipcp {
+    fn on_access(&mut self, access: &DemandAccess, out: &mut Vec<PrefetchCandidate>) {
+        let line = access.vaddr / LINE_SIZE;
+        let (dense, ascending) = self.track_region(access.vaddr);
+        let (idx, tag) = self.ip_index(access.pc);
+        let e = &mut self.ip_table[idx];
+        if !e.valid || e.tag != tag {
+            *e = IpEntry {
+                valid: true,
+                tag,
+                last_line: line,
+                stride: 0,
+                cs_conf: 0,
+                signature: 0,
+            };
+            // Unclassified IP: next-line fallback (NL class, degree 2).
+            out.push(PrefetchCandidate {
+                vaddr: (line + 1) * LINE_SIZE,
+                fill_l1: true,
+            });
+            out.push(PrefetchCandidate {
+                vaddr: (line + 2) * LINE_SIZE,
+                fill_l1: false,
+            });
+            return;
+        }
+        let stride = (line as i64 - e.last_line as i64) as i32;
+        e.last_line = line;
+        if stride == 0 {
+            return;
+        }
+        // Train CS confidence.
+        if stride == e.stride {
+            e.cs_conf = (e.cs_conf + 1).min(3);
+        } else {
+            e.cs_conf = e.cs_conf.saturating_sub(1);
+            if e.cs_conf == 0 {
+                e.stride = stride;
+            }
+        }
+        // Train CPLX: the previous signature predicted this stride?
+        let sig = e.signature;
+        let cspt_idx = (sig as usize) & (self.cspt.len() - 1);
+        let c = &mut self.cspt[cspt_idx];
+        if c.stride == stride {
+            c.conf = (c.conf + 1).min(3);
+        } else {
+            c.conf = c.conf.saturating_sub(1);
+            if c.conf == 0 {
+                c.stride = stride;
+            }
+        }
+        e.signature = Self::sig_push(sig, stride);
+        let signature = e.signature;
+        let cs_ready = e.cs_conf >= 2;
+        let cs_stride = e.stride;
+
+        // Class priority: GS > CS > CPLX > NL.
+        if dense {
+            let dir: i64 = if ascending { 1 } else { -1 };
+            for d in 1..=self.gs_degree {
+                let target = line as i64 + dir * d as i64;
+                if target > 0 {
+                    out.push(PrefetchCandidate {
+                        vaddr: target as u64 * LINE_SIZE,
+                        // Far global-stream prefetches fill L2 only.
+                        fill_l1: d <= 2,
+                    });
+                }
+            }
+        } else if cs_ready {
+            for d in 1..=self.cs_degree {
+                let target = line as i64 + i64::from(cs_stride) * d as i64;
+                if target > 0 {
+                    out.push(PrefetchCandidate {
+                        vaddr: target as u64 * LINE_SIZE,
+                        fill_l1: d <= 2,
+                    });
+                }
+            }
+        } else {
+            // CPLX chain: follow predicted strides while confident.
+            let mut sig = signature;
+            let mut pos = line as i64;
+            let mut issued = 0;
+            for _ in 0..3 {
+                let c = self.cspt[(sig as usize) & (self.cspt.len() - 1)];
+                if c.conf < 1 || c.stride == 0 {
+                    break;
+                }
+                pos += i64::from(c.stride);
+                if pos <= 0 {
+                    break;
+                }
+                out.push(PrefetchCandidate {
+                    vaddr: pos as u64 * LINE_SIZE,
+                    fill_l1: issued == 0,
+                });
+                issued += 1;
+                sig = Self::sig_push(sig, c.stride);
+            }
+            if issued == 0 {
+                // NL fallback (degree 2).
+                out.push(PrefetchCandidate {
+                    vaddr: (line + 1) * LINE_SIZE,
+                    fill_l1: true,
+                });
+                out.push(PrefetchCandidate {
+                    vaddr: (line + 2) * LINE_SIZE,
+                    fill_l1: false,
+                });
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ipcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(pc: u64, vaddr: u64) -> DemandAccess {
+        DemandAccess {
+            core: 0,
+            pc,
+            vaddr,
+            hit: false,
+            is_store: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn cs_class_learns_constant_stride() {
+        let mut p = Ipcp::new();
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            out.clear();
+            p.on_access(&access(0x400, 0x100_0000 + i * 2 * LINE_SIZE), &mut out);
+        }
+        // Stride 2: candidates at +2, +4, +6, +8 lines.
+        let base = 0x100_0000 / LINE_SIZE + 10;
+        let targets: Vec<u64> = out.iter().map(|c| c.vaddr / LINE_SIZE).collect();
+        assert_eq!(
+            targets,
+            vec![base + 2, base + 4, base + 6, base + 8],
+            "CS degree-4"
+        );
+    }
+
+    #[test]
+    fn nl_fallback_for_cold_ip() {
+        let mut p = Ipcp::new();
+        let mut out = Vec::new();
+        p.on_access(&access(0x999, 0x200_0000), &mut out);
+        assert_eq!(out.len(), 2, "NL fallback has degree 2");
+        assert_eq!(out[0].vaddr, 0x200_0000 + LINE_SIZE);
+        assert_eq!(out[1].vaddr, 0x200_0000 + 2 * LINE_SIZE);
+    }
+
+    #[test]
+    fn cplx_learns_repeating_stride_pattern() {
+        let mut p = Ipcp::new();
+        let mut out = Vec::new();
+        // Pattern of strides 1,3,1,3,... is not constant-stride but is
+        // signature-predictable.
+        let mut line = 0x400_0000u64 / LINE_SIZE;
+        let strides = [1u64, 3, 1, 3, 1, 3, 1, 3, 1, 3, 1, 3, 1, 3, 1, 3];
+        let mut produced = false;
+        for (i, s) in strides.iter().enumerate() {
+            out.clear();
+            p.on_access(&access(0x500, line * LINE_SIZE), &mut out);
+            line += s;
+            if i > 10 && !out.is_empty() {
+                produced = true;
+            }
+        }
+        assert!(produced, "CPLX chain never fired on a periodic pattern");
+    }
+
+    #[test]
+    fn gs_class_streams_on_dense_region() {
+        let mut p = Ipcp::new();
+        let mut out = Vec::new();
+        // Touch 60 of 64 lines in one page with many PCs (dense region),
+        // then the next access should stream with degree 4.
+        for i in 0..60u64 {
+            out.clear();
+            p.on_access(&access(0x400 + (i % 7) * 8, 0x800_0000 + i * LINE_SIZE), &mut out);
+        }
+        assert!(
+            out.len() >= 6,
+            "dense region must trigger GS degree-6: {}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn far_prefetches_fill_l2_only() {
+        let mut p = Ipcp::new();
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            out.clear();
+            p.on_access(&access(0x400, 0x100_0000 + i * LINE_SIZE), &mut out);
+        }
+        assert!(out.iter().any(|c| c.fill_l1));
+        assert!(out.iter().any(|c| !c.fill_l1), "far degree fills L2 only");
+    }
+}

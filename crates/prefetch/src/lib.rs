@@ -1,0 +1,20 @@
+//! Hardware prefetchers for the TLP reproduction.
+//!
+//! The paper evaluates two state-of-the-art L1D prefetchers — IPCP
+//! (ISCA'20) and Berti (MICRO'22) — on top of an L2 running SPP (MICRO'16).
+//! This crate implements all three, plus next-line and stride reference
+//! prefetchers used by tests and ablation benches. All of them plug into
+//! the simulator through [`tlp_sim::hooks::L1Prefetcher`] /
+//! [`tlp_sim::hooks::L2Prefetcher`].
+
+pub mod berti;
+pub mod ipcp;
+pub mod nextline;
+pub mod spp;
+pub mod stride;
+
+pub use berti::Berti;
+pub use ipcp::Ipcp;
+pub use nextline::NextLine;
+pub use spp::{Spp, SppConfig};
+pub use stride::StridePrefetcher;

@@ -1,0 +1,86 @@
+//! Next-line prefetcher: the simplest useful baseline.
+
+use tlp_sim::hooks::{DemandAccess, L1Prefetcher, PrefetchCandidate};
+use tlp_sim::types::LINE_SIZE;
+
+/// Prefetches the next `degree` sequential lines on every demand access.
+#[derive(Debug, Clone, Copy)]
+pub struct NextLine {
+    degree: u64,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher with the given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    #[must_use]
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Self { degree }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl L1Prefetcher for NextLine {
+    fn on_access(&mut self, access: &DemandAccess, out: &mut Vec<PrefetchCandidate>) {
+        for d in 1..=self.degree {
+            out.push(PrefetchCandidate {
+                vaddr: (access.vaddr & !(LINE_SIZE - 1)) + d * LINE_SIZE,
+                fill_l1: true,
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(vaddr: u64) -> DemandAccess {
+        DemandAccess {
+            core: 0,
+            pc: 0x400,
+            vaddr,
+            hit: false,
+            is_store: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn prefetches_next_lines() {
+        let mut p = NextLine::new(2);
+        let mut out = Vec::new();
+        p.on_access(&access(0x1008), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                PrefetchCandidate {
+                    vaddr: 0x1040,
+                    fill_l1: true
+                },
+                PrefetchCandidate {
+                    vaddr: 0x1080,
+                    fill_l1: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn zero_degree_rejected() {
+        let _ = NextLine::new(0);
+    }
+}

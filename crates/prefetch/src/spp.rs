@@ -1,0 +1,324 @@
+//! SPP: Signature Path Prefetcher (Kim et al., MICRO 2016) — the paper's
+//! L2 prefetcher (Table III), and the engine underneath PPF.
+//!
+//! SPP compresses the recent delta history within a page into a 12-bit
+//! *signature*, looks the signature up in a pattern table to predict the
+//! next delta, and follows the predicted path ahead of the program with a
+//! multiplicative *path confidence*. High-confidence prefetches fill the
+//! L2; lower-confidence ones fill only the LLC.
+
+use tlp_sim::hooks::{L2Access, L2PrefetchCandidate, L2Prefetcher};
+use tlp_sim::types::{line_offset_in_page, page_of, LINE_SIZE, LINES_PER_PAGE};
+
+const SIG_TABLE_SIZE: usize = 256;
+const PATTERN_TABLE_SIZE: usize = 512;
+const DELTAS_PER_SIG: usize = 4;
+const SIG_BITS: u32 = 12;
+
+/// Tuning knobs (PPF runs SPP in a much more aggressive configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SppConfig {
+    /// Path confidence (percent) below which lookahead stops.
+    pub lookahead_threshold: u32,
+    /// Path confidence (percent) at or above which fills go to L2
+    /// (below: LLC only).
+    pub fill_threshold: u32,
+    /// Maximum lookahead depth.
+    pub max_depth: u8,
+}
+
+impl SppConfig {
+    /// The stock MICRO'16 configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            lookahead_threshold: 25,
+            fill_threshold: 90,
+            max_depth: 8,
+        }
+    }
+
+    /// The aggressive configuration PPF is built on: prefetch far down
+    /// low-confidence paths and let the filter prune.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        Self {
+            lookahead_threshold: 10,
+            fill_threshold: 75,
+            max_depth: 12,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SigEntry {
+    valid: bool,
+    page: u64,
+    last_offset: u8,
+    signature: u16,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PatternDelta {
+    delta: i8,
+    c_delta: u16,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PatternEntry {
+    c_sig: u16,
+    deltas: [PatternDelta; DELTAS_PER_SIG],
+}
+
+/// The SPP prefetcher.
+#[derive(Debug)]
+pub struct Spp {
+    cfg: SppConfig,
+    sig_table: Vec<SigEntry>,
+    pattern: Vec<PatternEntry>,
+}
+
+impl Spp {
+    /// Creates SPP with the given configuration.
+    #[must_use]
+    pub fn new(cfg: SppConfig) -> Self {
+        Self {
+            cfg,
+            sig_table: vec![SigEntry::default(); SIG_TABLE_SIZE],
+            pattern: vec![PatternEntry::default(); PATTERN_TABLE_SIZE],
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> SppConfig {
+        self.cfg
+    }
+
+    fn sig_update(sig: u16, delta: i8) -> u16 {
+        ((sig << 3) ^ (delta as u16 & 0x3f)) & ((1 << SIG_BITS) - 1)
+    }
+
+    fn pattern_index(sig: u16) -> usize {
+        (sig as usize) & (PATTERN_TABLE_SIZE - 1)
+    }
+
+    fn train(&mut self, sig: u16, delta: i8) {
+        let e = &mut self.pattern[Self::pattern_index(sig)];
+        e.c_sig = e.c_sig.saturating_add(1);
+        if let Some(d) = e.deltas.iter_mut().find(|d| d.delta == delta) {
+            d.c_delta = d.c_delta.saturating_add(1);
+        } else if let Some(d) = e.deltas.iter_mut().min_by_key(|d| d.c_delta) {
+            *d = PatternDelta { delta, c_delta: 1 };
+        }
+        // Periodic halving keeps counters adaptive.
+        if e.c_sig >= 1024 {
+            e.c_sig /= 2;
+            for d in &mut e.deltas {
+                d.c_delta /= 2;
+            }
+        }
+    }
+
+    fn best_delta(&self, sig: u16) -> Option<(i8, u32)> {
+        let e = &self.pattern[Self::pattern_index(sig)];
+        if e.c_sig == 0 {
+            return None;
+        }
+        e.deltas
+            .iter()
+            .filter(|d| d.c_delta > 0 && d.delta != 0)
+            .max_by_key(|d| d.c_delta)
+            .map(|d| (d.delta, u32::from(d.c_delta) * 100 / u32::from(e.c_sig)))
+    }
+}
+
+impl L2Prefetcher for Spp {
+    fn on_access(&mut self, access: &L2Access, out: &mut Vec<L2PrefetchCandidate>) {
+        let page = page_of(access.paddr);
+        let offset = line_offset_in_page(access.paddr) as u8;
+        let idx = (page as usize) & (SIG_TABLE_SIZE - 1);
+        let e = &mut self.sig_table[idx];
+        let (old_sig, have_history) = if e.valid && e.page == page {
+            (e.signature, true)
+        } else {
+            *e = SigEntry {
+                valid: true,
+                page,
+                last_offset: offset,
+                signature: 0,
+            };
+            (0, false)
+        };
+        if have_history {
+            let delta = offset as i16 - e.last_offset as i16;
+            if delta != 0 {
+                let delta = delta as i8;
+                self.train(old_sig, delta);
+                let e = &mut self.sig_table[idx];
+                e.signature = Self::sig_update(old_sig, delta);
+                e.last_offset = offset;
+            }
+        }
+        // Lookahead along the signature path.
+        let mut sig = self.sig_table[idx].signature;
+        let mut conf = 100u32;
+        let mut offset = i16::from(offset);
+        for depth in 1..=self.cfg.max_depth {
+            let Some((delta, dconf)) = self.best_delta(sig) else {
+                break;
+            };
+            conf = conf * dconf / 100;
+            if conf < self.cfg.lookahead_threshold {
+                break;
+            }
+            offset += i16::from(delta);
+            if offset < 0 || offset >= LINES_PER_PAGE as i16 {
+                break; // SPP stays within the physical page
+            }
+            out.push(L2PrefetchCandidate {
+                paddr: page * LINES_PER_PAGE * LINE_SIZE + offset as u64 * LINE_SIZE,
+                fill_llc_only: conf < self.cfg.fill_threshold,
+                signature: u32::from(sig),
+                confidence: conf,
+                depth,
+            });
+            sig = Self::sig_update(sig, delta);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(paddr: u64) -> L2Access {
+        L2Access {
+            core: 0,
+            pc: 0x400,
+            paddr,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn page_addr(page: u64, line: u64) -> u64 {
+        page * 4096 + line * 64
+    }
+
+    #[test]
+    fn learns_unit_stride_within_page() {
+        let mut p = Spp::new(SppConfig::standard());
+        let mut out = Vec::new();
+        // Train on several pages with a unit-stride pattern.
+        for page in 0..6u64 {
+            for line in 0..30u64 {
+                out.clear();
+                p.on_access(&access(page_addr(100 + page, line)), &mut out);
+            }
+        }
+        assert!(!out.is_empty(), "trained SPP must prefetch on unit stride");
+        // All candidates stay within the page and run ahead.
+        for c in &out {
+            assert_eq!(c.paddr / 4096, 105);
+            assert!(c.paddr % 4096 / 64 > 29 - 8);
+            assert!(c.confidence <= 100);
+        }
+    }
+
+    #[test]
+    fn lookahead_depth_grows_with_confidence() {
+        let mut p = Spp::new(SppConfig::standard());
+        let mut out = Vec::new();
+        for page in 0..20u64 {
+            for line in 0..40u64 {
+                out.clear();
+                p.on_access(&access(page_addr(200 + page, line)), &mut out);
+            }
+        }
+        let max_depth = out.iter().map(|c| c.depth).max().unwrap_or(0);
+        assert!(
+            max_depth >= 2,
+            "well-trained path must look ahead: {max_depth}"
+        );
+    }
+
+    #[test]
+    fn aggressive_config_prefetches_more() {
+        let run = |cfg: SppConfig| {
+            let mut p = Spp::new(cfg);
+            let mut total = 0usize;
+            let mut out = Vec::new();
+            for page in 0..10u64 {
+                for line in (0..40u64).step_by(2) {
+                    out.clear();
+                    p.on_access(&access(page_addr(300 + page, line)), &mut out);
+                    total += out.len();
+                }
+            }
+            total
+        };
+        let standard = run(SppConfig::standard());
+        let aggressive = run(SppConfig::aggressive());
+        assert!(
+            aggressive > standard,
+            "aggressive SPP must issue more: {aggressive} vs {standard}"
+        );
+    }
+
+    #[test]
+    fn low_confidence_fills_llc_only() {
+        let mut p = Spp::new(SppConfig::aggressive());
+        let mut all = Vec::new();
+        let mut out = Vec::new();
+        // A noisy pattern: the same signature sees different deltas on
+        // different pages, so per-delta confidence stays below 100%.
+        for page in 0..8u64 {
+            let mut line = 0u64;
+            for i in 0..30u64 {
+                out.clear();
+                p.on_access(&access(page_addr(400 + page, line)), &mut out);
+                all.extend(out.iter().copied());
+                line += 1 + ((i * 7 + page) % 2);
+                if line >= 60 {
+                    break;
+                }
+            }
+        }
+        assert!(!all.is_empty(), "aggressive SPP must produce candidates");
+        assert!(
+            all.iter().any(|c| c.fill_llc_only),
+            "noisy paths must demote fills to LLC"
+        );
+    }
+
+    #[test]
+    fn prefetches_never_cross_the_page() {
+        let mut p = Spp::new(SppConfig::aggressive());
+        let mut out = Vec::new();
+        for page in 0..6u64 {
+            for line in 0..63u64 {
+                p.on_access(&access(page_addr(500 + page, line)), &mut out);
+            }
+        }
+        for c in &out {
+            assert!(
+                (500..512).contains(&(c.paddr / 4096)),
+                "candidate left its page: {:x}",
+                c.paddr
+            );
+        }
+    }
+
+    #[test]
+    fn cold_page_is_silent() {
+        let mut p = Spp::new(SppConfig::standard());
+        let mut out = Vec::new();
+        p.on_access(&access(page_addr(999, 5)), &mut out);
+        assert!(out.is_empty());
+    }
+}

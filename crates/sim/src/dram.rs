@@ -1,0 +1,476 @@
+//! Banked DRAM controller with FR-FCFS scheduling, an explicitly-occupied
+//! data bus (the bandwidth knob of Figure 16), and the DDRP buffer that
+//! holds completed speculative fills for Hermes-style predictors.
+
+use std::collections::VecDeque;
+
+use crate::config::DramConfig;
+use crate::request::{ReqKind, Request};
+use crate::stats::DramStats;
+use crate::types::{CoreId, Cycle, LINE_SIZE};
+
+/// One in-flight or queued DRAM transaction.
+#[derive(Debug)]
+struct Txn {
+    line: u64,
+    core: CoreId,
+    is_write: bool,
+    is_spec: bool,
+    /// Demand/prefetch requests waiting on this transaction.
+    waiters: Vec<Request>,
+    /// Completion cycle once scheduled.
+    done_at: Option<Cycle>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// A completed speculative fill waiting to be claimed by its demand.
+#[derive(Debug, Clone, Copy)]
+struct DdrpEntry {
+    line: u64,
+    core: CoreId,
+}
+
+/// The DRAM controller.
+pub struct Dram {
+    cfg: DramConfig,
+    burst: Cycle,
+    read_q: VecDeque<Txn>,
+    write_q: VecDeque<Txn>,
+    in_flight: Vec<Txn>,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    ddrp: VecDeque<DdrpEntry>,
+    draining_writes: bool,
+    /// Counters.
+    pub stats: DramStats,
+}
+
+impl std::fmt::Debug for Dram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dram")
+            .field("read_q", &self.read_q.len())
+            .field("write_q", &self.write_q.len())
+            .field("in_flight", &self.in_flight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Dram {
+    /// Creates a controller from its configuration.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        Self {
+            burst: cfg.burst_cycles(),
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            in_flight: Vec::new(),
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0,
+                };
+                cfg.banks
+            ],
+            bus_free_at: 0,
+            ddrp: VecDeque::new(),
+            draining_writes: false,
+            cfg,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Bus occupancy per transaction in cycles.
+    #[must_use]
+    pub fn burst_cycles(&self) -> Cycle {
+        self.burst
+    }
+
+    fn bank_of(&self, line: u64) -> usize {
+        (line % self.cfg.banks as u64) as usize
+    }
+
+    fn row_of(&self, line: u64) -> u64 {
+        line * LINE_SIZE / self.cfg.row_bytes
+    }
+
+    /// Enqueues a demand/prefetch read. If a transaction (including a
+    /// speculative one) for the same line is already queued or in flight,
+    /// the request merges into it — this is how a demand "catches up with"
+    /// its Hermes speculative request. Returns false when the read queue is
+    /// full (caller retries next cycle).
+    pub fn push_read(&mut self, req: Request) -> bool {
+        let line = req.line();
+        let core = req.core;
+        for t in self
+            .in_flight
+            .iter_mut()
+            .chain(self.read_q.iter_mut())
+        {
+            if !t.is_write && t.line == line && t.core == core {
+                if t.is_spec {
+                    self.stats.spec_consumed += 1;
+                    t.is_spec = false; // now carries a real demand
+                }
+                t.waiters.push(req);
+                return true;
+            }
+        }
+        if self.read_q.len() >= self.cfg.read_queue {
+            self.stats.read_queue_full += 1;
+            return false;
+        }
+        self.stats.reads += 1;
+        self.read_q.push_back(Txn {
+            line,
+            core,
+            is_write: false,
+            is_spec: false,
+            waiters: vec![req],
+            done_at: None,
+        });
+        true
+    }
+
+    /// Enqueues a speculative (off-chip predictor) read. Silently dropped
+    /// when the read queue is full or a transaction for the line already
+    /// exists (the spec request would be redundant).
+    pub fn push_speculative(&mut self, req: Request) {
+        debug_assert_eq!(req.kind, ReqKind::Speculative);
+        let line = req.line();
+        let exists = self
+            .in_flight
+            .iter()
+            .chain(self.read_q.iter())
+            .any(|t| !t.is_write && t.line == line && t.core == req.core)
+            || self
+                .ddrp
+                .iter()
+                .any(|e| e.line == line && e.core == req.core);
+        if exists {
+            return;
+        }
+        if self.read_q.len() >= self.cfg.read_queue {
+            self.stats.spec_dropped += 1;
+            return;
+        }
+        self.stats.spec_reads += 1;
+        self.read_q.push_back(Txn {
+            line,
+            core: req.core,
+            is_write: false,
+            is_spec: true,
+            waiters: Vec::new(),
+            done_at: None,
+        });
+    }
+
+    /// Enqueues a writeback. Returns false when the write queue is full.
+    pub fn push_write(&mut self, paddr: u64, core: CoreId) -> bool {
+        if self.write_q.len() >= self.cfg.write_queue {
+            return false;
+        }
+        self.stats.writes += 1;
+        self.write_q.push_back(Txn {
+            line: paddr / LINE_SIZE,
+            core,
+            is_write: true,
+            is_spec: false,
+            waiters: Vec::new(),
+            done_at: None,
+        });
+        true
+    }
+
+    /// Claims a completed speculative fill for (`core`, line of `paddr`).
+    /// Returns true when the DDRP buffer had the line — the caller treats
+    /// the demand as served by DRAM with zero additional latency and no new
+    /// transaction.
+    pub fn take_ddrp(&mut self, core: CoreId, paddr: u64) -> bool {
+        let line = paddr / LINE_SIZE;
+        if let Some(pos) = self
+            .ddrp
+            .iter()
+            .position(|e| e.line == line && e.core == core)
+        {
+            self.ddrp.remove(pos);
+            self.stats.spec_consumed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Advances the controller one cycle; returns requests whose data is
+    /// now available (their waiters, with in-flight spec fills parked in
+    /// the DDRP buffer instead).
+    pub fn tick(&mut self, now: Cycle) -> Vec<Request> {
+        self.schedule(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at.is_some_and(|d| d <= now) {
+                let t = self.in_flight.swap_remove(i);
+                if t.is_spec {
+                    if self.ddrp.len() >= self.cfg.ddrp_buffer {
+                        self.ddrp.pop_front();
+                        self.stats.spec_wasted += 1;
+                    }
+                    self.ddrp.push_back(DdrpEntry {
+                        line: t.line,
+                        core: t.core,
+                    });
+                } else {
+                    done.extend(t.waiters);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// FR-FCFS with write draining: writes are serviced in bursts when the
+    /// write queue fills up (or reads are absent), reads otherwise; within
+    /// a queue, row-buffer hits go first, then the oldest entry.
+    fn schedule(&mut self, now: Cycle) {
+        // Hysteresis for write draining.
+        if self.write_q.len() * 4 >= self.cfg.write_queue * 3 {
+            self.draining_writes = true;
+        }
+        if self.write_q.is_empty() || self.write_q.len() * 4 <= self.cfg.write_queue {
+            self.draining_writes = false;
+        }
+        // Issue at most one transaction per cycle (one command bus).
+        let from_writes = self.draining_writes || self.read_q.is_empty();
+        let q = if from_writes {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
+        if q.is_empty() {
+            return;
+        }
+        // FR-FCFS pick: first row hit on a free bank, else oldest on a free
+        // bank.
+        let mut pick: Option<usize> = None;
+        for (i, t) in q.iter().enumerate() {
+            let bank = (t.line % self.banks.len() as u64) as usize;
+            if self.banks[bank].busy_until > now {
+                continue;
+            }
+            let row = t.line * LINE_SIZE / self.cfg.row_bytes;
+            if self.banks[bank].open_row == Some(row) {
+                pick = Some(i);
+                break;
+            }
+            if pick.is_none() {
+                pick = Some(i);
+            }
+        }
+        let Some(idx) = pick else { return };
+        let mut t = q.remove(idx).expect("index valid");
+        let bank_idx = self.bank_of(t.line);
+        let row = self.row_of(t.line);
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        let access = match bank.open_row {
+            Some(r) if r == row => {
+                self.stats.row_hits += 1;
+                self.cfg.t_cas
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+            }
+            None => self.cfg.t_rcd + self.cfg.t_cas,
+        };
+        bank.open_row = Some(row);
+        let data_ready = start + access;
+        let xfer_start = data_ready.max(self.bus_free_at);
+        let done = xfer_start + self.burst;
+        self.bus_free_at = done;
+        bank.busy_until = data_ready;
+        t.done_at = Some(done);
+        self.in_flight.push(t);
+    }
+
+    /// Outstanding work (for quiescence checks).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.read_q.len() + self.write_q.len() + self.in_flight.len()
+    }
+
+    /// Counts speculative fills still unclaimed in the DDRP buffer as
+    /// wasted (end-of-simulation accounting).
+    pub fn drain_ddrp_residue(&mut self) {
+        self.stats.spec_wasted += self.ddrp.len() as u64;
+        self.ddrp.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::hooks::OffChipTag;
+
+    fn dram() -> Dram {
+        Dram::new(SystemConfig::cascade_lake(1).dram)
+    }
+
+    fn read_req(id: u64, paddr: u64) -> Request {
+        Request::demand_load(id, 0, 0, paddr, paddr, id, OffChipTag::none(), 0)
+    }
+
+    fn run_until_done(d: &mut Dram, mut now: Cycle, limit: Cycle) -> (Vec<Request>, Cycle) {
+        let mut out = Vec::new();
+        while now < limit {
+            out.extend(d.tick(now));
+            if !out.is_empty() && d.pending() == 0 {
+                break;
+            }
+            now += 1;
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn read_completes_with_closed_row_timing() {
+        let mut d = dram();
+        assert!(d.push_read(read_req(1, 0x1000)));
+        let (done, when) = run_until_done(&mut d, 0, 10_000);
+        assert_eq!(done.len(), 1);
+        // tRCD + tCAS + burst = 24 + 24 + 19 = 67.
+        assert_eq!(when, 67);
+        assert_eq!(d.stats.reads, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let mut d = dram();
+        // Same bank (lines 8 apart with 8 banks), same row.
+        d.push_read(read_req(1, 0x0));
+        d.push_read(read_req(2, 8 * 64));
+        let (done, when_hits) = run_until_done(&mut d, 0, 10_000);
+        assert_eq!(done.len(), 2);
+        assert!(d.stats.row_hits >= 1);
+
+        // Same bank, different row → conflict.
+        let mut d2 = dram();
+        d2.push_read(read_req(1, 0x0));
+        let banks = 8u64;
+        let row_bytes = 8192u64;
+        d2.push_read(read_req(2, row_bytes * banks)); // same bank 0, next row
+        let (done2, when_conflict) = run_until_done(&mut d2, 0, 10_000);
+        assert_eq!(done2.len(), 2);
+        assert!(d2.stats.row_conflicts >= 1);
+        assert!(when_conflict > when_hits, "conflict must be slower");
+    }
+
+    #[test]
+    fn bus_serializes_bank_parallel_reads() {
+        let mut d = dram();
+        // Four different banks: bank latencies overlap, bus serializes.
+        for i in 0..4u64 {
+            d.push_read(read_req(i, i * 64));
+        }
+        let (done, when) = run_until_done(&mut d, 0, 10_000);
+        assert_eq!(done.len(), 4);
+        // Lower bound: one access latency + 4 bursts.
+        assert!(when >= 48 + 4 * 19, "bus contention not modelled: {when}");
+    }
+
+    #[test]
+    fn same_line_reads_merge() {
+        let mut d = dram();
+        d.push_read(read_req(1, 0x2000));
+        d.push_read(read_req(2, 0x2008));
+        assert_eq!(d.stats.reads, 1, "merged read must not double-count");
+        let (done, _) = run_until_done(&mut d, 0, 10_000);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn read_queue_full_rejects() {
+        let mut d = dram();
+        let cap = SystemConfig::cascade_lake(1).dram.read_queue;
+        for i in 0..cap as u64 {
+            assert!(d.push_read(read_req(i, 0x10_0000 + i * 64)));
+        }
+        assert!(!d.push_read(read_req(999, 0x90_0000)));
+        assert_eq!(d.stats.read_queue_full, 1);
+    }
+
+    #[test]
+    fn speculative_fill_lands_in_ddrp_and_is_claimed() {
+        let mut d = dram();
+        let spec = Request::speculative(1, 0, 0x400, 0x3000, 0x3000, 0);
+        d.push_speculative(spec);
+        assert_eq!(d.stats.spec_reads, 1);
+        let (done, _) = run_until_done(&mut d, 0, 200);
+        assert!(done.is_empty(), "spec fills park in the DDRP buffer");
+        assert!(d.take_ddrp(0, 0x3000));
+        assert!(!d.take_ddrp(0, 0x3000), "claimed entries disappear");
+        assert_eq!(d.stats.spec_consumed, 1);
+    }
+
+    #[test]
+    fn demand_merges_into_inflight_spec() {
+        let mut d = dram();
+        d.push_speculative(Request::speculative(1, 0, 0x400, 0x3000, 0x3000, 0));
+        // Demand arrives while the spec is still pending.
+        d.tick(0);
+        d.push_read(read_req(2, 0x3000));
+        assert_eq!(d.stats.reads, 0, "demand reuses the spec transaction");
+        assert_eq!(d.stats.spec_consumed, 1);
+        let (done, _) = run_until_done(&mut d, 1, 10_000);
+        assert_eq!(done.len(), 1, "demand waiter completes");
+        assert_eq!(d.stats.transactions(), 1);
+    }
+
+    #[test]
+    fn spec_dedups_against_existing_traffic() {
+        let mut d = dram();
+        d.push_read(read_req(1, 0x4000));
+        d.push_speculative(Request::speculative(2, 0, 0, 0x4000, 0x4000, 0));
+        assert_eq!(d.stats.spec_reads, 0, "redundant spec must be dropped");
+    }
+
+    #[test]
+    fn writes_count_as_transactions() {
+        let mut d = dram();
+        assert!(d.push_write(0x5000, 0));
+        let _ = run_until_done(&mut d, 0, 10_000);
+        assert_eq!(d.stats.writes, 1);
+        assert_eq!(d.stats.transactions(), 1);
+    }
+
+    #[test]
+    fn write_drain_mode_kicks_in() {
+        let mut d = dram();
+        let cap = SystemConfig::cascade_lake(1).dram.write_queue;
+        for i in 0..(cap * 3 / 4 + 1) as u64 {
+            d.push_write(0x10_0000 + i * 64, 0);
+        }
+        d.push_read(read_req(1, 0x9000));
+        // With draining active, the first scheduled transaction is a write.
+        d.tick(0);
+        assert!(
+            d.in_flight.iter().any(|t| t.is_write),
+            "write drain did not trigger"
+        );
+    }
+
+    #[test]
+    fn ddrp_residue_counts_wasted() {
+        let mut d = dram();
+        d.push_speculative(Request::speculative(1, 0, 0, 0x7000, 0x7000, 0));
+        let _ = run_until_done(&mut d, 0, 200);
+        d.drain_ddrp_residue();
+        assert_eq!(d.stats.spec_wasted, 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Plugin interfaces: off-chip predictors, prefetchers and prefetch filters.
+//!
+//! The simulator is scheme-agnostic: Hermes, TLP and every Figure-15
+//! ablation variant plug into the same four traits. Callbacks fire at the
+//! microarchitectural points the paper describes — load dispatch from the
+//! core, L1D miss, prefetch issue, and request completion (training).
+
+use tlp_perceptron::FeatureIndices;
+
+use crate::types::{CoreId, Cycle, Level};
+
+/// Context for an off-chip prediction at load dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadCtx {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Load PC.
+    pub pc: u64,
+    /// Virtual address (FLP operates pre-translation).
+    pub vaddr: u64,
+    /// Dispatch cycle.
+    pub cycle: Cycle,
+}
+
+/// The three-way outcome of an FLP-style prediction (Hermes only ever uses
+/// the first and last variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OffChipDecision {
+    /// Confidence above τ_high: issue the speculative DRAM request from the
+    /// core, in parallel with the L1D lookup.
+    IssueNow,
+    /// Confidence in (τ_low, τ_high]: tag the load; issue the speculative
+    /// request only if the L1D lookup misses (the paper's selective delay).
+    IssueOnL1dMiss,
+    /// Confidence below τ_low: no speculative request.
+    NoIssue,
+}
+
+/// Prediction metadata carried in the load-queue entry (Table II: hashed PC,
+/// last-4 PCs, first-access bit, confidence — we carry the resolved feature
+/// indices, which is the same information post-hash).
+#[derive(Debug, Clone, Copy)]
+pub struct OffChipTag {
+    /// What the predictor decided.
+    pub decision: OffChipDecision,
+    /// Raw perceptron sum at prediction time.
+    pub confidence: i32,
+    /// Weight-table indices read at prediction time (for training).
+    pub indices: FeatureIndices,
+    /// False when no predictor was consulted.
+    pub valid: bool,
+}
+
+impl OffChipTag {
+    /// The tag used when no off-chip predictor is present.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            decision: OffChipDecision::NoIssue,
+            confidence: 0,
+            indices: FeatureIndices::empty(),
+            valid: false,
+        }
+    }
+
+    /// True when the load was flagged off-chip (immediately or delayed);
+    /// this is the FLP output bit that SLP's leveling feature consumes.
+    #[must_use]
+    pub fn predicted_offchip(&self) -> bool {
+        !matches!(self.decision, OffChipDecision::NoIssue)
+    }
+
+    /// Reconstructs a minimal tag from the stored FLP output bit (used when
+    /// rebuilding filter-training contexts from request metadata).
+    #[must_use]
+    pub fn from_offchip_bit(bit: bool) -> Self {
+        Self {
+            decision: if bit {
+                OffChipDecision::IssueOnL1dMiss
+            } else {
+                OffChipDecision::NoIssue
+            },
+            confidence: 0,
+            indices: FeatureIndices::empty(),
+            valid: true,
+        }
+    }
+}
+
+impl Default for OffChipTag {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// An off-chip predictor for demand loads (Hermes, FLP, or none).
+pub trait OffChipPredictor: Send {
+    /// Consulted at load dispatch; returns the decision plus training
+    /// metadata to be stored in the load-queue entry.
+    fn predict_load(&mut self, ctx: &LoadCtx) -> OffChipTag;
+
+    /// Called when the load's data returns to the core. `served_from` is
+    /// the level that actually provided the data (the training label:
+    /// positive iff DRAM).
+    fn train_load(&mut self, ctx: &LoadCtx, tag: &OffChipTag, served_from: Level);
+
+    /// Predictor name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A no-op predictor (the paper's baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoOffChip;
+
+impl OffChipPredictor for NoOffChip {
+    fn predict_load(&mut self, _ctx: &LoadCtx) -> OffChipTag {
+        OffChipTag::none()
+    }
+    fn train_load(&mut self, _ctx: &LoadCtx, _tag: &OffChipTag, _served: Level) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// A demand access observed by an L1D prefetcher (ChampSim's
+/// `prefetcher_cache_operate`).
+#[derive(Debug, Clone, Copy)]
+pub struct DemandAccess {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Load/store PC.
+    pub pc: u64,
+    /// Virtual address (L1D prefetchers are virtually indexed).
+    pub vaddr: u64,
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the access was a store.
+    pub is_store: bool,
+    /// Current cycle.
+    pub cycle: Cycle,
+}
+
+/// An L1D prefetch candidate produced by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchCandidate {
+    /// Target virtual address.
+    pub vaddr: u64,
+    /// Fill into L1D (`true`) or only into L2 (`false`).
+    pub fill_l1: bool,
+}
+
+/// An L1D hardware prefetcher (IPCP, Berti, next-line, ...).
+pub trait L1Prefetcher: Send {
+    /// Observes a demand access; pushes any prefetch candidates into `out`.
+    fn on_access(&mut self, access: &DemandAccess, out: &mut Vec<PrefetchCandidate>);
+
+    /// Observes the completion of one of this prefetcher's fills
+    /// (Berti uses this to measure timeliness).
+    fn on_fill(&mut self, vaddr: u64, cycle: Cycle) {
+        let _ = (vaddr, cycle);
+    }
+
+    /// Prefetcher name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A prefetcher that never prefetches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoL1Prefetcher;
+
+impl L1Prefetcher for NoL1Prefetcher {
+    fn on_access(&mut self, _a: &DemandAccess, _out: &mut Vec<PrefetchCandidate>) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Context for an L1D prefetch-filter decision (SLP).
+#[derive(Debug, Clone, Copy)]
+pub struct L1FilterCtx {
+    /// Issuing core.
+    pub core: CoreId,
+    /// PC of the demand access that triggered the prefetch.
+    pub trigger_pc: u64,
+    /// Virtual address of the triggering demand.
+    pub trigger_vaddr: u64,
+    /// Prefetch target virtual address.
+    pub pf_vaddr: u64,
+    /// Prefetch target physical address (SLP uses physical features).
+    pub pf_paddr: u64,
+    /// FLP tag of the triggering demand (the leveling feature input).
+    pub trigger_tag: OffChipTag,
+    /// Current cycle.
+    pub cycle: Cycle,
+}
+
+/// Filter metadata carried in the prefetch request (Table II: L1D MSHR
+/// metadata) for training at completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterTag {
+    /// Perceptron sum at filter time.
+    pub confidence: i32,
+    /// Weight-table indices read at filter time.
+    pub indices: FeatureIndices,
+    /// False when no filter was consulted.
+    pub valid: bool,
+}
+
+/// An L1D prefetch filter (SLP or none).
+pub trait L1PrefetchFilter: Send {
+    /// Consulted when the L1D prefetcher issues a candidate. Returns
+    /// `(issue, tag)`: when `issue` is false the prefetch is discarded.
+    fn filter(&mut self, ctx: &L1FilterCtx) -> (bool, FilterTag);
+
+    /// Called when an issued prefetch completes; `served_from` is the level
+    /// that provided the data (training label: positive iff DRAM).
+    fn train(&mut self, ctx: &L1FilterCtx, tag: &FilterTag, served_from: Level);
+
+    /// Filter name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through filter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoL1Filter;
+
+impl L1PrefetchFilter for NoL1Filter {
+    fn filter(&mut self, _ctx: &L1FilterCtx) -> (bool, FilterTag) {
+        (true, FilterTag::default())
+    }
+    fn train(&mut self, _ctx: &L1FilterCtx, _tag: &FilterTag, _served: Level) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// A demand access observed by the L2 prefetcher (physical addresses).
+#[derive(Debug, Clone, Copy)]
+pub struct L2Access {
+    /// Issuing core.
+    pub core: CoreId,
+    /// PC of the originating demand (0 for writebacks).
+    pub pc: u64,
+    /// Physical address.
+    pub paddr: u64,
+    /// Whether the access hit in the L2.
+    pub hit: bool,
+    /// Current cycle.
+    pub cycle: Cycle,
+}
+
+/// An L2 prefetch candidate (SPP), with the internal metadata PPF's
+/// features consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2PrefetchCandidate {
+    /// Target physical address.
+    pub paddr: u64,
+    /// Fill into L2 (`false`) or only into the LLC (`true`).
+    pub fill_llc_only: bool,
+    /// SPP signature that generated this candidate.
+    pub signature: u32,
+    /// SPP path confidence (percent, 0..=100).
+    pub confidence: u32,
+    /// Lookahead depth at which the candidate was produced.
+    pub depth: u8,
+}
+
+/// An L2 hardware prefetcher (SPP).
+pub trait L2Prefetcher: Send {
+    /// Observes an L2 demand access; pushes candidates into `out`.
+    fn on_access(&mut self, access: &L2Access, out: &mut Vec<L2PrefetchCandidate>);
+
+    /// Prefetcher name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A no-op L2 prefetcher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoL2Prefetcher;
+
+impl L2Prefetcher for NoL2Prefetcher {
+    fn on_access(&mut self, _a: &L2Access, _out: &mut Vec<L2PrefetchCandidate>) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// An L2 prefetch filter (PPF). Unlike SLP, PPF trains on prefetch
+/// *usefulness* (demand hit vs. unused eviction) and keeps a reject table
+/// to learn from filtered-then-demanded lines.
+pub trait L2PrefetchFilter: Send {
+    /// Consulted per SPP candidate; `trigger` is the access that produced
+    /// it. Returns true to issue.
+    fn filter(&mut self, trigger: &L2Access, candidate: &L2PrefetchCandidate) -> bool;
+
+    /// A prefetched line was referenced by a demand (useful).
+    fn on_useful(&mut self, paddr: u64);
+
+    /// A prefetched line was evicted without use (useless).
+    fn on_useless(&mut self, paddr: u64);
+
+    /// A demand missed; PPF checks its reject table to learn from wrongly
+    /// rejected prefetches.
+    fn on_demand_miss(&mut self, paddr: u64);
+
+    /// Filter name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through L2 filter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoL2Filter;
+
+impl L2PrefetchFilter for NoL2Filter {
+    fn filter(&mut self, _t: &L2Access, _c: &L2PrefetchCandidate) -> bool {
+        true
+    }
+    fn on_useful(&mut self, _paddr: u64) {}
+    fn on_useless(&mut self, _paddr: u64) {}
+    fn on_demand_miss(&mut self, _paddr: u64) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_tag_is_not_offchip() {
+        let t = OffChipTag::none();
+        assert!(!t.predicted_offchip());
+        assert!(!t.valid);
+    }
+
+    #[test]
+    fn delayed_decision_counts_as_offchip() {
+        let t = OffChipTag {
+            decision: OffChipDecision::IssueOnL1dMiss,
+            ..OffChipTag::none()
+        };
+        assert!(t.predicted_offchip());
+    }
+
+    #[test]
+    fn null_plugins_are_inert() {
+        let ctx = LoadCtx {
+            core: 0,
+            pc: 0x400,
+            vaddr: 0x1000,
+            cycle: 5,
+        };
+        let mut p = NoOffChip;
+        assert!(!p.predict_load(&ctx).predicted_offchip());
+        let mut f = NoL1Filter;
+        let fctx = L1FilterCtx {
+            core: 0,
+            trigger_pc: 0,
+            trigger_vaddr: 0,
+            pf_vaddr: 0x40,
+            pf_paddr: 0x40,
+            trigger_tag: OffChipTag::none(),
+            cycle: 0,
+        };
+        assert!(f.filter(&fctx).0);
+        let mut pf = NoL1Prefetcher;
+        let mut out = Vec::new();
+        pf.on_access(
+            &DemandAccess {
+                core: 0,
+                pc: 0,
+                vaddr: 0,
+                hit: true,
+                is_store: false,
+                cycle: 0,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The memory request that travels through the hierarchy.
+
+use crate::hooks::{FilterTag, OffChipTag};
+use crate::types::{CoreId, Cycle, Level, LINE_SIZE};
+
+/// What kind of request this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Demand load from the core.
+    Load,
+    /// Store miss (read-for-ownership) issued by the L1D write path.
+    Rfo,
+    /// L1D prefetch; `fill_l1` false fills only down to the L2.
+    PrefetchL1 {
+        /// Whether the fill should reach the L1D array.
+        fill_l1: bool,
+    },
+    /// L2 prefetch (SPP); `fill_llc_only` true fills only the LLC.
+    PrefetchL2 {
+        /// Whether the fill should stop at the LLC.
+        fill_llc_only: bool,
+    },
+    /// Dirty-line writeback travelling downstream.
+    Writeback,
+    /// Speculative DRAM read issued by an off-chip predictor.
+    Speculative,
+}
+
+impl ReqKind {
+    /// True for demand loads/RFOs (the accesses MPKI counts).
+    #[must_use]
+    pub fn is_demand(self) -> bool {
+        matches!(self, ReqKind::Load | ReqKind::Rfo)
+    }
+
+    /// True for either prefetch kind.
+    #[must_use]
+    pub fn is_prefetch(self) -> bool {
+        matches!(self, ReqKind::PrefetchL1 { .. } | ReqKind::PrefetchL2 { .. })
+    }
+
+    /// Nearest level this request's fill should reach.
+    #[must_use]
+    pub fn fill_level(self) -> Level {
+        match self {
+            ReqKind::Load | ReqKind::Rfo => Level::L1d,
+            ReqKind::PrefetchL1 { fill_l1 } => {
+                if fill_l1 {
+                    Level::L1d
+                } else {
+                    Level::L2
+                }
+            }
+            ReqKind::PrefetchL2 { fill_llc_only } => {
+                if fill_llc_only {
+                    Level::Llc
+                } else {
+                    Level::L2
+                }
+            }
+            ReqKind::Writeback | ReqKind::Speculative => Level::Dram,
+        }
+    }
+}
+
+/// A memory request. One instance travels down the hierarchy, is parked in
+/// MSHRs, and is routed back up when data arrives.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique id.
+    pub id: u64,
+    /// Issuing core.
+    pub core: CoreId,
+    /// Request kind.
+    pub kind: ReqKind,
+    /// PC of the originating instruction (0 for writebacks).
+    pub pc: u64,
+    /// Original virtual address (0 for writebacks).
+    pub vaddr: u64,
+    /// Physical byte address.
+    pub paddr: u64,
+    /// ROB sequence number to wake on completion (demand loads).
+    pub lq_seq: Option<u64>,
+    /// Off-chip prediction metadata (demand loads).
+    pub offchip: OffChipTag,
+    /// Prefetch-filter metadata (L1 prefetches).
+    pub filter: FilterTag,
+    /// L1 filter context snapshot needed for SLP training, packed small:
+    /// (trigger_pc, trigger_vaddr, trigger predicted-off-chip bit).
+    pub pf_trigger: Option<(u64, u64, bool)>,
+    /// Cycle the request was created.
+    pub born: Cycle,
+    /// Level that served the data (set on completion).
+    pub served_from: Option<Level>,
+}
+
+impl Request {
+    /// Physical cache-line address.
+    #[inline]
+    #[must_use]
+    pub fn line(&self) -> u64 {
+        self.paddr / LINE_SIZE
+    }
+}
+
+/// Builder-ish constructor helpers.
+impl Request {
+    /// A demand load. The argument list mirrors the hardware fields a
+    /// load-queue entry carries; a builder would obscure that 1:1 mapping.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn demand_load(
+        id: u64,
+        core: CoreId,
+        pc: u64,
+        vaddr: u64,
+        paddr: u64,
+        lq_seq: u64,
+        offchip: OffChipTag,
+        born: Cycle,
+    ) -> Self {
+        Self {
+            id,
+            core,
+            kind: ReqKind::Load,
+            pc,
+            vaddr,
+            paddr,
+            lq_seq: Some(lq_seq),
+            offchip,
+            filter: FilterTag::default(),
+            pf_trigger: None,
+            born,
+            served_from: None,
+        }
+    }
+
+    /// A store-miss RFO.
+    #[must_use]
+    pub fn rfo(id: u64, core: CoreId, pc: u64, vaddr: u64, paddr: u64, born: Cycle) -> Self {
+        Self {
+            id,
+            core,
+            kind: ReqKind::Rfo,
+            pc,
+            vaddr,
+            paddr,
+            lq_seq: None,
+            offchip: OffChipTag::none(),
+            filter: FilterTag::default(),
+            pf_trigger: None,
+            born,
+            served_from: None,
+        }
+    }
+
+    /// A writeback of a dirty line.
+    #[must_use]
+    pub fn writeback(id: u64, core: CoreId, paddr: u64, born: Cycle) -> Self {
+        Self {
+            id,
+            core,
+            kind: ReqKind::Writeback,
+            pc: 0,
+            vaddr: 0,
+            paddr,
+            lq_seq: None,
+            offchip: OffChipTag::none(),
+            filter: FilterTag::default(),
+            pf_trigger: None,
+            born,
+            served_from: None,
+        }
+    }
+
+    /// A speculative DRAM read triggered by an off-chip predictor.
+    #[must_use]
+    pub fn speculative(id: u64, core: CoreId, pc: u64, vaddr: u64, paddr: u64, born: Cycle) -> Self {
+        Self {
+            id,
+            core,
+            kind: ReqKind::Speculative,
+            pc,
+            vaddr,
+            paddr,
+            lq_seq: None,
+            offchip: OffChipTag::none(),
+            filter: FilterTag::default(),
+            pf_trigger: None,
+            born,
+            served_from: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_levels() {
+        assert_eq!(ReqKind::Load.fill_level(), Level::L1d);
+        assert_eq!(ReqKind::PrefetchL1 { fill_l1: false }.fill_level(), Level::L2);
+        assert_eq!(ReqKind::PrefetchL1 { fill_l1: true }.fill_level(), Level::L1d);
+        assert_eq!(
+            ReqKind::PrefetchL2 {
+                fill_llc_only: true
+            }
+            .fill_level(),
+            Level::Llc
+        );
+        assert_eq!(
+            ReqKind::PrefetchL2 {
+                fill_llc_only: false
+            }
+            .fill_level(),
+            Level::L2
+        );
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(ReqKind::Load.is_demand());
+        assert!(ReqKind::Rfo.is_demand());
+        assert!(!ReqKind::Writeback.is_demand());
+        assert!(ReqKind::PrefetchL1 { fill_l1: true }.is_prefetch());
+        assert!(!ReqKind::Speculative.is_prefetch());
+    }
+
+    #[test]
+    fn line_address() {
+        let r = Request::rfo(1, 0, 0, 0, 0x1087, 0);
+        assert_eq!(r.line(), 0x42);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared scalar types and address arithmetic.
+
+/// A simulation cycle count.
+pub type Cycle = u64;
+
+/// Core index within a [`crate::engine::System`].
+pub type CoreId = usize;
+
+/// Cache line size in bytes (64 B, as in all ChampSim configurations).
+pub const LINE_SIZE: u64 = 64;
+
+/// Page size in bytes (4 KB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// Where in the hierarchy a request was ultimately served from.
+///
+/// This is the label the paper's Figure 4 (off-chip prediction outcomes)
+/// and Figures 5/6 (prefetch serving level) break down over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// First-level data cache.
+    L1d,
+    /// Unified second-level cache.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl Level {
+    /// All levels, nearest first.
+    pub const ALL: [Level; 4] = [Level::L1d, Level::L2, Level::Llc, Level::Dram];
+
+    /// Dense index (0..4) for stats arrays.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Level::L1d => 0,
+            Level::L2 => 1,
+            Level::Llc => 2,
+            Level::Dram => 3,
+        }
+    }
+
+    /// True when the level is off-chip (the positive class for every
+    /// off-chip predictor).
+    #[inline]
+    #[must_use]
+    pub fn is_off_chip(self) -> bool {
+        matches!(self, Level::Dram)
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::L1d => write!(f, "L1D"),
+            Level::L2 => write!(f, "L2C"),
+            Level::Llc => write!(f, "LLC"),
+            Level::Dram => write!(f, "DRAM"),
+        }
+    }
+}
+
+/// Cache-line address (byte address divided by the line size).
+#[inline]
+#[must_use]
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_SIZE
+}
+
+/// Page number of a byte address.
+#[inline]
+#[must_use]
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_SIZE
+}
+
+/// Offset of the cache line within its page (0..64), the paper's
+/// "cacheline offset" feature component.
+#[inline]
+#[must_use]
+pub fn line_offset_in_page(addr: u64) -> u64 {
+    (addr % PAGE_SIZE) / LINE_SIZE
+}
+
+/// Byte offset within the cache line (0..64), the paper's "byte offset"
+/// feature component.
+#[inline]
+#[must_use]
+pub fn byte_offset_in_line(addr: u64) -> u64 {
+    addr % LINE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_arithmetic() {
+        let addr = 3 * PAGE_SIZE + 5 * LINE_SIZE + 7;
+        assert_eq!(page_of(addr), 3);
+        assert_eq!(line_offset_in_page(addr), 5);
+        assert_eq!(byte_offset_in_line(addr), 7);
+        assert_eq!(line_of(addr), 3 * LINES_PER_PAGE + 5);
+    }
+
+    #[test]
+    fn level_indices_are_dense() {
+        let mut seen = [false; 4];
+        for l in Level::ALL {
+            seen[l.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(Level::Dram.is_off_chip());
+        assert!(!Level::Llc.is_off_chip());
+    }
+}

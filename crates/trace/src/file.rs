@@ -1,0 +1,364 @@
+//! Binary trace files: persist captured workload traces and replay them.
+//!
+//! The paper's artifact ships its workloads as ChampSim trace files
+//! (SimPoints, three Zenodo volumes); this module is the equivalent for
+//! this workspace. A trace file is:
+//!
+//! ```text
+//! magic   "TLPT"                    4 bytes
+//! version u16 le                    2 bytes
+//! flags   u16 le (bit 0: looping)   2 bytes
+//! count   u64 le (record count)     8 bytes
+//! name    u16 le length + UTF-8     2 + n bytes
+//! records count × TraceRecord::ENCODED_LEN bytes
+//! ```
+//!
+//! Files written by [`write_trace`] are read back by [`read_trace`] or
+//! streamed by [`FileTrace`], which implements [`TraceSource`] for direct
+//! use in the simulator.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::TraceRecord;
+use crate::source::{TraceSource, VecTrace};
+
+const MAGIC: &[u8; 4] = b"TLPT";
+const VERSION: u16 = 1;
+const FLAG_LOOPING: u16 = 1;
+
+/// Errors arising when reading a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `TLPT` magic.
+    BadMagic,
+    /// The file's format version is not supported.
+    BadVersion(u16),
+    /// The header or records are truncated or malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => write!(f, "not a TLPT trace file"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// An in-memory parse of a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Workload name recorded at capture time.
+    pub name: String,
+    /// Whether the trace should replay in a loop.
+    pub looping: bool,
+    /// The captured records.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceFile {
+    /// Converts into a replayable [`VecTrace`] honouring the looping flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds no records (rejected at read time, so this
+    /// only fires for hand-built values).
+    #[must_use]
+    pub fn into_source(self) -> VecTrace {
+        if self.looping {
+            VecTrace::looping(self.name, self.records)
+        } else {
+            VecTrace::new(self.name, self.records)
+        }
+    }
+}
+
+/// Serializes a trace into its binary representation.
+#[must_use]
+pub fn encode_trace(name: &str, looping: bool, records: &[TraceRecord]) -> Bytes {
+    let mut buf =
+        BytesMut::with_capacity(18 + name.len() + records.len() * TraceRecord::ENCODED_LEN);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(if looping { FLAG_LOOPING } else { 0 });
+    buf.put_u64_le(records.len() as u64);
+    let name_bytes = name.as_bytes();
+    assert!(name_bytes.len() <= u16::MAX as usize, "workload name too long");
+    buf.put_u16_le(name_bytes.len() as u16);
+    buf.put_slice(name_bytes);
+    for r in records {
+        r.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Parses a binary trace previously produced by [`encode_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] when the magic, version, header or record
+/// payload is malformed.
+pub fn decode_trace(mut buf: impl Buf) -> Result<TraceFile, ReadTraceError> {
+    // Fixed-size prefix: magic 4, version 2, flags 2, count 8, name_len 2.
+    if buf.remaining() < 18 {
+        return Err(ReadTraceError::Corrupt("short header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(ReadTraceError::BadVersion(version));
+    }
+    let flags = buf.get_u16_le();
+    let count = buf.get_u64_le();
+    let name_len = buf.get_u16_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(ReadTraceError::Corrupt("truncated name"));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    buf.copy_to_slice(&mut name_bytes);
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| ReadTraceError::Corrupt("name is not UTF-8"))?;
+    let expected = (count as usize)
+        .checked_mul(TraceRecord::ENCODED_LEN)
+        .ok_or(ReadTraceError::Corrupt("record count overflow"))?;
+    if buf.remaining() < expected {
+        return Err(ReadTraceError::Corrupt("truncated records"));
+    }
+    if count == 0 {
+        return Err(ReadTraceError::Corrupt("empty trace"));
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let r = TraceRecord::decode(&mut buf)
+            .ok_or(ReadTraceError::Corrupt("invalid record"))?;
+        records.push(r);
+    }
+    Ok(TraceFile {
+        name,
+        looping: flags & FLAG_LOOPING != 0,
+        records,
+    })
+}
+
+/// Writes a trace file to `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on failure.
+pub fn write_trace(
+    path: impl AsRef<Path>,
+    name: &str,
+    looping: bool,
+    records: &[TraceRecord],
+) -> io::Result<()> {
+    let bytes = encode_trace(name, looping, records);
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads a trace file from `path`.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] when the file cannot be read or parsed.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<TraceFile, ReadTraceError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    decode_trace(&bytes[..])
+}
+
+/// A trace source backed by a trace file loaded at construction.
+#[derive(Debug)]
+pub struct FileTrace {
+    inner: VecTrace,
+}
+
+impl FileTrace {
+    /// Opens and fully loads a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] when the file cannot be read or parsed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ReadTraceError> {
+        Ok(Self {
+            inner: read_trace(path)?.into_source(),
+        })
+    }
+
+    /// Number of distinct records before looping.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Always false: empty trace files are rejected at read time.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.inner.next_record()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Reg;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::load(0x400, 0x10_000, 8, Reg(3), [Some(Reg(1)), None]),
+            TraceRecord::alu(0x404, Some(Reg(5)), [Some(Reg(3)), Some(Reg(5))]),
+            TraceRecord::store(0x408, 0x10_040, 4, Some(Reg(5)), None),
+            TraceRecord::branch(0x40c, true, 0x400, Some(Reg(7))),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let recs = sample_records();
+        let bytes = encode_trace("bfs.kron", true, &recs);
+        let tf = decode_trace(bytes).expect("roundtrip");
+        assert_eq!(tf.name, "bfs.kron");
+        assert!(tf.looping);
+        assert_eq!(tf.records, recs);
+    }
+
+    #[test]
+    fn file_roundtrip_and_replay() {
+        let dir = std::env::temp_dir().join("tlp-trace-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("roundtrip.tlpt");
+        let recs = sample_records();
+        write_trace(&path, "t", false, &recs).expect("write");
+        let tf = read_trace(&path).expect("read");
+        assert_eq!(tf.records, recs);
+        assert!(!tf.looping);
+        let mut src = FileTrace::open(&path).expect("open");
+        assert_eq!(src.name(), "t");
+        assert_eq!(src.len(), recs.len());
+        for r in &recs {
+            assert_eq!(src.next_record().as_ref(), Some(r));
+        }
+        assert!(src.next_record().is_none(), "non-looping trace must end");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn looping_file_trace_wraps() {
+        let bytes = encode_trace("loop", true, &sample_records());
+        let mut src = decode_trace(bytes).expect("decode").into_source();
+        for _ in 0..3 {
+            for r in &sample_records() {
+                assert_eq!(src.next_record().as_ref(), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_trace("x", false, &sample_records()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode_trace("x", false, &sample_records()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode_trace("workload", false, &sample_records());
+        for cut in [0, 3, 10, 17, bytes.len() - 1] {
+            assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        let bytes = encode_trace("empty", false, &[]);
+        assert!(matches!(
+            decode_trace(bytes),
+            Err(ReadTraceError::Corrupt("empty trace"))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_record_op() {
+        let recs = sample_records();
+        let mut bytes = encode_trace("x", false, &recs).to_vec();
+        // Corrupt the op code of the first record (offset: 18 + name).
+        let rec0 = 18 + 1;
+        bytes[rec0 + 8] = 0x7f;
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::Corrupt("invalid record"))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = FileTrace::open("/nonexistent/path/trace.tlpt").unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert!(ReadTraceError::BadMagic.to_string().contains("TLPT"));
+        assert!(ReadTraceError::BadVersion(7).to_string().contains('7'));
+        assert!(ReadTraceError::Corrupt("short header")
+            .to_string()
+            .contains("short header"));
+    }
+}

@@ -1,0 +1,407 @@
+//! CSR graphs and the six input-graph generators of Table V.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulation scale: trades graph size (and therefore warmup length) for
+/// runtime, while keeping every footprint much larger than the LLC so that
+/// the off-chip fraction of accesses stays in the paper's regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphScale {
+    /// ~1 K vertices — doctests and unit tests only.
+    Tiny,
+    /// ~128 K vertices — integration tests and Criterion benches.
+    Quick,
+    /// ~256 K vertices — full harness runs.
+    Full,
+}
+
+impl GraphScale {
+    /// Base vertex count at this scale.
+    ///
+    /// Quick/Full keep every property array and the CSR structure well
+    /// beyond the 1.375 MB/core LLC so that the irregular property accesses
+    /// reach DRAM like the paper's full-size inputs do.
+    #[must_use]
+    pub fn vertices(self) -> u32 {
+        match self {
+            GraphScale::Tiny => 1 << 10,
+            GraphScale::Quick => 1 << 17,
+            GraphScale::Full => 1 << 18,
+        }
+    }
+}
+
+/// The six paper input graphs (Table V), reproduced as synthetic generators
+/// with matching degree-distribution *shapes* (absolute sizes are scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Kronecker/RMAT power-law graph (paper: Kron, 134 M vertices).
+    Kron,
+    /// Uniform random graph (paper: Urand).
+    Urand,
+    /// 2-D grid road network: degree ~4, huge diameter (paper: Road).
+    Road,
+    /// Web crawl: strong power law with host locality (paper: Web).
+    Web,
+    /// Social network, heavy-tailed (paper: Twitter).
+    Twitter,
+    /// Community-structured social graph (paper: Friendster).
+    Friendster,
+}
+
+impl GraphKind {
+    /// All six kinds, in the paper's Table V order.
+    pub const ALL: [GraphKind; 6] = [
+        GraphKind::Web,
+        GraphKind::Road,
+        GraphKind::Twitter,
+        GraphKind::Kron,
+        GraphKind::Urand,
+        GraphKind::Friendster,
+    ];
+
+    /// Short lowercase name used in workload ids (e.g. `bfs.kron`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Kron => "kron",
+            GraphKind::Urand => "urand",
+            GraphKind::Road => "road",
+            GraphKind::Web => "web",
+            GraphKind::Twitter => "twitter",
+            GraphKind::Friendster => "friendster",
+        }
+    }
+
+    /// Parses a short name.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// An undirected graph in compressed sparse row form, with sorted and
+/// deduplicated adjacency lists (required by the triangle-counting kernel).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph of `kind` at `scale`, deterministically from `seed`.
+    #[must_use]
+    pub fn build(kind: GraphKind, scale: GraphScale, seed: u64) -> Self {
+        let n = scale.vertices();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6a70_6172_7467_6170);
+        let edges = match kind {
+            GraphKind::Kron => rmat_edges(n, 8, [0.57, 0.19, 0.19], &mut rng),
+            GraphKind::Twitter => rmat_edges(n, 8, [0.65, 0.15, 0.12], &mut rng),
+            GraphKind::Web => rmat_edges(n, 6, [0.45, 0.25, 0.20], &mut rng),
+            GraphKind::Urand => urand_edges(n, 8, &mut rng),
+            GraphKind::Road => road_edges(n),
+            GraphKind::Friendster => community_edges(n, 10, 64, &mut rng),
+        };
+        Self::from_edges(n, &edges)
+    }
+
+    /// Builds a graph from an undirected edge list. Self-loops are dropped,
+    /// parallel edges deduplicated, adjacency sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    #[must_use]
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0u32; n as usize + 1];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            if u != v {
+                deg[u as usize + 1] += 1;
+                deg[v as usize + 1] += 1;
+            }
+        }
+        let mut offsets = deg;
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n as usize] as usize];
+        for &(u, v) in edges {
+            if u != v {
+                targets[cursor[u as usize] as usize] = v;
+                cursor[u as usize] += 1;
+                targets[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Sort + dedup adjacency per vertex, then rebuild compact offsets.
+        let mut new_targets = Vec::with_capacity(targets.len());
+        let mut new_offsets = Vec::with_capacity(offsets.len());
+        new_offsets.push(0u32);
+        for v in 0..n as usize {
+            let (b, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut adj: Vec<u32> = targets[b..e].to_vec();
+            adj.sort_unstable();
+            adj.dedup();
+            new_targets.extend_from_slice(&adj);
+            new_offsets.push(u32::try_from(new_targets.len()).expect("edge count fits u32"));
+        }
+        Self {
+            offsets: new_offsets,
+            targets: new_targets,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    #[must_use]
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges (twice the undirected edge count).
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Range of edge indices for `v` (index into the target array).
+    #[inline]
+    #[must_use]
+    pub fn edge_range(&self, v: u32) -> std::ops::Range<u32> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let r = self.edge_range(v);
+        &self.targets[r.start as usize..r.end as usize]
+    }
+
+    /// Edge target at CSR position `e`.
+    #[inline]
+    #[must_use]
+    pub fn target(&self, e: u32) -> u32 {
+        self.targets[e as usize]
+    }
+
+    /// Deterministic edge weight in `1..=63` (SSSP), derived from the edge
+    /// index so the "weights array" has stable contents without storage.
+    #[inline]
+    #[must_use]
+    pub fn weight(&self, e: u32) -> u32 {
+        (tlp_weight_hash(u64::from(e)) % 63 + 1) as u32
+    }
+
+    /// A vertex with nonzero degree near `hint` (used to pick BFS/SSSP roots).
+    #[must_use]
+    pub fn root_near(&self, hint: u64) -> u32 {
+        let n = self.num_vertices();
+        for probe in 0..n {
+            let v = ((hint + u64::from(probe)) % u64::from(n)) as u32;
+            if self.degree(v) > 0 {
+                return v;
+            }
+        }
+        0
+    }
+}
+
+fn tlp_weight_hash(mut x: u64) -> u64 {
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 32)
+}
+
+/// RMAT (Kronecker) edge sampling with partition probabilities `[a, b, c]`
+/// (d = 1 - a - b - c).
+fn rmat_edges(n: u32, edge_factor: u32, p: [f64; 3], rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let scale = n.trailing_zeros();
+    assert!(n.is_power_of_two(), "RMAT needs power-of-two vertex count");
+    let m = (u64::from(n) * u64::from(edge_factor)) as usize;
+    let [a, b, c] = p;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+fn urand_edges(n: u32, edge_factor: u32, rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let m = (u64::from(n) * u64::from(edge_factor)) as usize;
+    (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+/// Square grid with 4-neighbor connectivity: degree ≤ 4, diameter Θ(√n).
+fn road_edges(n: u32) -> Vec<(u32, u32)> {
+    let side = (f64::from(n)).sqrt() as u32;
+    let mut edges = Vec::with_capacity((2 * side * side) as usize);
+    for y in 0..side {
+        for x in 0..side {
+            let v = y * side + x;
+            if x + 1 < side {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < side {
+                edges.push((v, v + side));
+            }
+        }
+    }
+    edges
+}
+
+/// Dense communities of `community_size` vertices with `edge_factor` edges
+/// per vertex, 10% of which escape to a random community.
+fn community_edges(
+    n: u32,
+    edge_factor: u32,
+    community_size: u32,
+    rng: &mut StdRng,
+) -> Vec<(u32, u32)> {
+    let m = (u64::from(n) * u64::from(edge_factor)) as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let base = u - (u % community_size);
+        let v = if rng.gen_bool(0.9) {
+            (base + rng.gen_range(0..community_size)).min(n - 1)
+        } else {
+            rng.gen_range(0..n)
+        };
+        edges.push((u, v));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_sorted_deduped_csr() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2]); // self-loop dropped
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates_endpoints() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        for kind in GraphKind::ALL {
+            let a = Graph::build(kind, GraphScale::Tiny, 7);
+            let b = Graph::build(kind, GraphScale::Tiny, 7);
+            assert_eq!(a.offsets, b.offsets, "{kind:?} offsets differ");
+            assert_eq!(a.targets, b.targets, "{kind:?} targets differ");
+            let c = Graph::build(kind, GraphScale::Tiny, 8);
+            if kind != GraphKind::Road {
+                assert_ne!(a.targets, c.targets, "{kind:?} ignores seed");
+            }
+        }
+    }
+
+    #[test]
+    fn kron_is_power_law_urand_is_not() {
+        let kron = Graph::build(GraphKind::Kron, GraphScale::Tiny, 1);
+        let urand = Graph::build(GraphKind::Urand, GraphScale::Tiny, 1);
+        let max_deg = |g: &Graph| (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        let kron_max = max_deg(&kron);
+        let urand_max = max_deg(&urand);
+        // Power-law graphs concentrate edges on hubs.
+        assert!(
+            kron_max > 4 * urand_max,
+            "kron max degree {kron_max} not ≫ urand {urand_max}"
+        );
+    }
+
+    #[test]
+    fn road_has_bounded_degree() {
+        let g = Graph::build(GraphKind::Road, GraphScale::Tiny, 1);
+        assert!((0..g.num_vertices()).all(|v| g.degree(v) <= 4));
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = Graph::build(GraphKind::Twitter, GraphScale::Tiny, 3);
+        for v in 0..g.num_vertices() {
+            let adj = g.neighbors(v);
+            assert!(adj.windows(2).all(|w| w[0] < w[1]), "unsorted adj at {v}");
+        }
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let g = Graph::build(GraphKind::Web, GraphScale::Tiny, 5);
+        for v in 0..g.num_vertices() {
+            for &u in g.neighbors(v) {
+                assert!(
+                    g.neighbors(u).binary_search(&v).is_ok(),
+                    "edge {v}->{u} missing reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_stable_and_positive() {
+        let g = Graph::build(GraphKind::Kron, GraphScale::Tiny, 1);
+        for e in 0..64.min(g.num_edges() as u32) {
+            let w = g.weight(e);
+            assert!((1..=63).contains(&w));
+            assert_eq!(w, g.weight(e));
+        }
+    }
+
+    #[test]
+    fn root_near_finds_connected_vertex() {
+        let g = Graph::build(GraphKind::Kron, GraphScale::Tiny, 2);
+        let r = g.root_near(0xdead_beef);
+        assert!(g.degree(r) > 0);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in GraphKind::ALL {
+            assert_eq!(GraphKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(GraphKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! GAP benchmark substrate: graphs (Table V) and kernels (Table IV).
+//!
+//! The paper evaluates six GAP kernels over six input graphs. We rebuild
+//! both: [`graph`] provides CSR graphs with the degree distributions of the
+//! paper's inputs (power-law Kron/Twitter/Web, uniform Urand, high-diameter
+//! Road, community-structured Friendster), and [`kernels`] runs the *actual
+//! algorithms* (direction-optimizing BFS, PageRank, Shiloach–Vishkin CC,
+//! Brandes BC, triangle counting, Δ-stepping SSSP) while emitting every
+//! memory access they perform, with register dependencies preserved
+//! (an edge-target load feeds the property-array load it indexes).
+
+pub mod graph;
+pub mod kernels;
+
+pub use graph::{Graph, GraphKind, GraphScale};
+pub use kernels::{GapWorkload, Kernel};
+
+/// Virtual-address layout of the GAP data structures.
+///
+/// Regions are spaced far apart so the simulator's first-touch page
+/// allocation produces distinct physical regions per structure.
+pub mod layout {
+    /// Pseudo text segment (instruction PCs).
+    pub const CODE: u64 = 0x0040_0000;
+    /// CSR offsets array (`u32` per vertex).
+    pub const OFFSETS: u64 = 0x0001_0000_0000;
+    /// CSR edge-target array (`u32` per edge).
+    pub const TARGETS: u64 = 0x0002_0000_0000;
+    /// Edge weights (`u32` per edge, SSSP only).
+    pub const WEIGHTS: u64 = 0x0003_0000_0000;
+    /// Primary property array (parent / rank / comp / dist).
+    pub const PROP_A: u64 = 0x0004_0000_0000;
+    /// Secondary property array (next-rank / sigma).
+    pub const PROP_B: u64 = 0x0005_0000_0000;
+    /// Tertiary property array (delta / depth).
+    pub const PROP_C: u64 = 0x0006_0000_0000;
+    /// Worklists, frontiers and bucket queues.
+    pub const QUEUE: u64 = 0x0007_0000_0000;
+    /// Scratch (visit stacks, counters).
+    pub const SCRATCH: u64 = 0x0008_0000_0000;
+}

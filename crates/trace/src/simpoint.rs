@@ -1,0 +1,393 @@
+//! SimPoint-style phase analysis (Perelman et al., SIGMETRICS 2003).
+//!
+//! The paper's traces are 1B-instruction SimPoints: representative
+//! intervals chosen by clustering basic-block vectors (BBVs) so that a
+//! short simulation stands in for a whole program phase (§V-B). This
+//! module reproduces that methodology over this workspace's traces:
+//!
+//! 1. [`basic_block_vectors`] slices an instruction stream into
+//!    fixed-length intervals and builds, per interval, a normalized
+//!    execution-frequency vector over (hashed) basic blocks;
+//! 2. [`pick_simpoints`] clusters the BBVs with k-means (k-means++
+//!    seeding, deterministic) and returns one representative interval per
+//!    cluster, weighted by the fraction of intervals the cluster covers.
+//!
+//! The representative intervals can then be replayed with
+//! [`VecTrace`](crate::source::VecTrace) slices, weighting results by
+//! [`SimPoint::weight`] exactly as the SimPoint methodology prescribes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::TraceRecord;
+
+/// Basic-block-vector extraction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbvConfig {
+    /// Instructions per interval (the paper uses 1B; scale down for the
+    /// synthetic traces).
+    pub interval: usize,
+    /// Dimensions the basic-block space is hashed into (SimPoint projects
+    /// BBVs down to ~15–100 dimensions).
+    pub dims: usize,
+}
+
+impl BbvConfig {
+    /// A configuration suited to this workspace's trace scales.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            interval: 10_000,
+            dims: 32,
+        }
+    }
+}
+
+/// One representative interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Index of the chosen interval (multiply by `interval` for the
+    /// instruction offset).
+    pub interval: usize,
+    /// Fraction of all intervals represented by this SimPoint's cluster;
+    /// weights over all SimPoints sum to 1.
+    pub weight: f64,
+}
+
+/// Slices `records` into intervals of `cfg.interval` instructions and
+/// returns one L1-normalized basic-block frequency vector per complete
+/// interval. A basic block is delimited by branch records; its identity is
+/// the hash of its leader PC, and its contribution is weighted by the
+/// block's dynamic length (instructions executed in it), per the SimPoint
+/// formulation.
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` or `cfg.dims` is zero.
+#[must_use]
+pub fn basic_block_vectors(records: &[TraceRecord], cfg: BbvConfig) -> Vec<Vec<f64>> {
+    assert!(cfg.interval > 0, "interval must be nonzero");
+    assert!(cfg.dims > 0, "dims must be nonzero");
+    let mut bbvs = Vec::new();
+    let mut current = vec![0.0f64; cfg.dims];
+    let mut in_interval = 0usize;
+    let mut block_leader = records.first().map_or(0, |r| r.pc);
+    let mut block_len = 0usize;
+    // splitmix64 finalizer: spreads leader PCs uniformly over dimensions.
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let flush_block = |current: &mut Vec<f64>, leader: u64, len: usize| {
+        if len == 0 {
+            return;
+        }
+        let dim = (mix(leader) as usize) % cfg.dims;
+        current[dim] += len as f64;
+    };
+    for r in records {
+        block_len += 1;
+        in_interval += 1;
+        let block_ends = r.op.is_branch();
+        if block_ends {
+            flush_block(&mut current, block_leader, block_len);
+            block_leader = r.target; // next block starts at the target
+            block_len = 0;
+        }
+        if in_interval == cfg.interval {
+            if block_len > 0 {
+                flush_block(&mut current, block_leader, block_len);
+                block_len = 0;
+            }
+            let total: f64 = current.iter().sum();
+            if total > 0.0 {
+                for x in &mut current {
+                    *x /= total;
+                }
+            }
+            bbvs.push(std::mem::replace(&mut current, vec![0.0; cfg.dims]));
+            in_interval = 0;
+        }
+    }
+    // Trailing partial interval is dropped, like SimPoint does.
+    bbvs
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters `bbvs` into at most `k` phases with k-means and returns one
+/// representative per non-empty cluster: the interval whose BBV is closest
+/// to the cluster centroid, weighted by cluster population. Deterministic
+/// for a given `seed`. Results are sorted by decreasing weight.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+#[must_use]
+pub fn pick_simpoints(bbvs: &[Vec<f64>], k: usize, seed: u64) -> Vec<SimPoint> {
+    assert!(k > 0, "k must be nonzero");
+    if bbvs.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(bbvs.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(bbvs[rng.gen_range(0..bbvs.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = bbvs
+            .iter()
+            .map(|v| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(v, c))
+                    .fold(f64::MAX, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            // All points coincide with existing centroids: stop early.
+            break;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, &d) in d2.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(bbvs[chosen].clone());
+    }
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; bbvs.len()];
+    for _ in 0..50 {
+        let mut moved = false;
+        for (i, v) in bbvs.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(v, &centroids[a])
+                        .partial_cmp(&dist2(v, &centroids[b]))
+                        .expect("distances are finite")
+                })
+                .expect("at least one centroid");
+            if assignment[i] != best {
+                assignment[i] = best;
+                moved = true;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> = bbvs
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(v, _)| v)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for (d, x) in centroid.iter_mut().enumerate() {
+                *x = members.iter().map(|m| m[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    // One representative per non-empty cluster.
+    let mut points = Vec::new();
+    for (c, centroid) in centroids.iter().enumerate() {
+        let members: Vec<usize> = (0..bbvs.len()).filter(|&i| assignment[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let repr = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist2(&bbvs[a], centroid)
+                    .partial_cmp(&dist2(&bbvs[b], centroid))
+                    .expect("distances are finite")
+            })
+            .expect("cluster is non-empty");
+        points.push(SimPoint {
+            interval: repr,
+            weight: members.len() as f64 / bbvs.len() as f64,
+        });
+    }
+    points.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+    points
+}
+
+/// Convenience wrapper: extract BBVs and pick at most `k` SimPoints from a
+/// captured record slice.
+#[must_use]
+pub fn simpoints_of(records: &[TraceRecord], cfg: BbvConfig, k: usize, seed: u64) -> Vec<SimPoint> {
+    pick_simpoints(&basic_block_vectors(records, cfg), k, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Reg;
+
+    /// Builds a trace alternating between two distinct phases, each with
+    /// its own PC region and branch structure.
+    fn two_phase_trace(phase_len: usize, phases: usize) -> Vec<TraceRecord> {
+        let mut recs = Vec::new();
+        for p in 0..phases {
+            let base = if p % 2 == 0 { 0x10_000 } else { 0x90_000 };
+            for i in 0..phase_len {
+                let pc = base + (i % 7) as u64 * 4;
+                if i % 7 == 6 {
+                    recs.push(TraceRecord::branch(pc, true, base, None));
+                } else {
+                    recs.push(TraceRecord::load(
+                        pc,
+                        base * 16 + (i as u64 % 64) * 64,
+                        8,
+                        Reg(1),
+                        [None, None],
+                    ));
+                }
+            }
+        }
+        recs
+    }
+
+    #[test]
+    fn bbv_count_matches_complete_intervals() {
+        let recs = two_phase_trace(1000, 4);
+        let cfg = BbvConfig {
+            interval: 300,
+            dims: 16,
+        };
+        let bbvs = basic_block_vectors(&recs, cfg);
+        assert_eq!(bbvs.len(), 4000 / 300);
+        for v in &bbvs {
+            assert_eq!(v.len(), 16);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "BBVs must be L1-normalized");
+        }
+    }
+
+    #[test]
+    fn distinct_phases_produce_distinct_bbvs() {
+        let recs = two_phase_trace(1000, 2);
+        let cfg = BbvConfig {
+            interval: 1000,
+            dims: 32,
+        };
+        let bbvs = basic_block_vectors(&recs, cfg);
+        assert_eq!(bbvs.len(), 2);
+        assert!(
+            dist2(&bbvs[0], &bbvs[1]) > 0.1,
+            "phases with disjoint code must separate in BBV space"
+        );
+    }
+
+    #[test]
+    fn kmeans_finds_the_two_phases() {
+        let recs = two_phase_trace(1000, 8);
+        let cfg = BbvConfig {
+            interval: 1000,
+            dims: 32,
+        };
+        let points = simpoints_of(&recs, cfg, 2, 42);
+        assert_eq!(points.len(), 2);
+        // Each phase covers half the intervals.
+        for p in &points {
+            assert!((p.weight - 0.5).abs() < 1e-9, "weight {}", p.weight);
+        }
+        // Representatives come from different phases (even/odd intervals).
+        assert_ne!(points[0].interval % 2, points[1].interval % 2);
+    }
+
+    #[test]
+    fn weights_always_sum_to_one() {
+        let recs = two_phase_trace(700, 6);
+        let cfg = BbvConfig {
+            interval: 500,
+            dims: 16,
+        };
+        for k in 1..=5 {
+            let points = simpoints_of(&recs, cfg, k, 7);
+            let total: f64 = points.iter().map(|p| p.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "k={k}: weights sum {total}");
+            assert!(points.len() <= k);
+        }
+    }
+
+    #[test]
+    fn uniform_trace_collapses_to_one_simpoint() {
+        // A single phase: k-means++ stops early because every point
+        // coincides, yielding one cluster with weight 1.
+        let recs = two_phase_trace(1000, 1);
+        let cfg = BbvConfig {
+            interval: 100,
+            dims: 16,
+        };
+        let points = simpoints_of(&recs, cfg, 4, 3);
+        assert!(!points.is_empty());
+        assert!(
+            points[0].weight > 0.5,
+            "the dominant phase must dominate: {points:?}"
+        );
+    }
+
+    #[test]
+    fn picking_is_deterministic() {
+        let recs = two_phase_trace(900, 6);
+        let cfg = BbvConfig {
+            interval: 450,
+            dims: 24,
+        };
+        assert_eq!(
+            simpoints_of(&recs, cfg, 3, 11),
+            simpoints_of(&recs, cfg, 3, 11)
+        );
+    }
+
+    #[test]
+    fn empty_and_short_traces_are_safe() {
+        let cfg = BbvConfig::standard();
+        assert!(basic_block_vectors(&[], cfg).is_empty());
+        assert!(pick_simpoints(&[], 3, 0).is_empty());
+        // Shorter than one interval: no complete interval, no SimPoints.
+        let recs = two_phase_trace(10, 1);
+        assert!(simpoints_of(&recs, cfg, 2, 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_intervals_is_clamped() {
+        let recs = two_phase_trace(1000, 2);
+        let cfg = BbvConfig {
+            interval: 1000,
+            dims: 8,
+        };
+        let points = simpoints_of(&recs, cfg, 10, 0);
+        assert!(points.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be nonzero")]
+    fn zero_k_is_rejected() {
+        let _ = pick_simpoints(&[vec![0.0]], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be nonzero")]
+    fn zero_interval_is_rejected() {
+        let _ = basic_block_vectors(
+            &[],
+            BbvConfig {
+                interval: 0,
+                dims: 4,
+            },
+        );
+    }
+}

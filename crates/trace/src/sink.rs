@@ -1,0 +1,180 @@
+//! Trace sinks: where workload generators push their records.
+
+use crate::record::TraceRecord;
+
+/// The consumer side of a workload generator.
+///
+/// Generators call [`TraceSink::emit`] for every dynamic instruction they
+/// produce and must stop generating promptly once it returns `false`
+/// (budget exhausted or consumer gone).
+pub trait TraceSink {
+    /// Offers one record to the sink. Returns `false` when the sink wants no
+    /// more records; the generator should unwind.
+    fn emit(&mut self, rec: TraceRecord) -> bool;
+
+    /// True once the sink has stopped accepting records.
+    fn is_closed(&self) -> bool;
+}
+
+/// A sink that records into a `Vec`, bounded by a budget.
+#[derive(Debug)]
+pub struct RecorderSink {
+    records: Vec<TraceRecord>,
+    budget: usize,
+}
+
+impl RecorderSink {
+    /// Creates a recorder that accepts at most `budget` records.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(budget.min(1 << 20)),
+            budget,
+        }
+    }
+
+    /// Consumes the recorder, returning the captured records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Number of records captured so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for RecorderSink {
+    fn emit(&mut self, rec: TraceRecord) -> bool {
+        if self.records.len() >= self.budget {
+            return false;
+        }
+        self.records.push(rec);
+        self.records.len() < self.budget
+    }
+
+    fn is_closed(&self) -> bool {
+        self.records.len() >= self.budget
+    }
+}
+
+/// A sink that merely counts records; useful for workload statistics.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    total: usize,
+    loads: usize,
+    stores: usize,
+    branches: usize,
+    budget: Option<usize>,
+}
+
+impl CountingSink {
+    /// Creates an unbounded counting sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a counting sink that closes after `budget` records.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    /// Total records observed.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Loads observed.
+    #[must_use]
+    pub fn loads(&self) -> usize {
+        self.loads
+    }
+
+    /// Stores observed.
+    #[must_use]
+    pub fn stores(&self) -> usize {
+        self.stores
+    }
+
+    /// Branches observed.
+    #[must_use]
+    pub fn branches(&self) -> usize {
+        self.branches
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn emit(&mut self, rec: TraceRecord) -> bool {
+        if self.is_closed() {
+            return false;
+        }
+        self.total += 1;
+        match rec.op {
+            crate::record::Op::Load => self.loads += 1,
+            crate::record::Op::Store => self.stores += 1,
+            crate::record::Op::Branch => self.branches += 1,
+            _ => {}
+        }
+        !self.is_closed()
+    }
+
+    fn is_closed(&self) -> bool {
+        self.budget.is_some_and(|b| self.total >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Reg;
+
+    fn rec() -> TraceRecord {
+        TraceRecord::load(0, 0x40, 8, Reg(0), [None, None])
+    }
+
+    #[test]
+    fn recorder_respects_budget() {
+        let mut s = RecorderSink::new(3);
+        assert!(s.emit(rec()));
+        assert!(s.emit(rec()));
+        assert!(!s.emit(rec())); // third accepted, but budget now exhausted
+        assert!(s.is_closed());
+        assert!(!s.emit(rec())); // rejected
+        assert_eq!(s.into_records().len(), 3);
+    }
+
+    #[test]
+    fn recorder_zero_budget_rejects_immediately() {
+        let mut s = RecorderSink::new(0);
+        assert!(!s.emit(rec()));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_classifies() {
+        let mut s = CountingSink::new();
+        s.emit(rec());
+        s.emit(TraceRecord::store(0, 0x80, 8, None, None));
+        s.emit(TraceRecord::branch(0, true, 0, None));
+        s.emit(TraceRecord::alu(0, None, [None, None]));
+        assert_eq!(
+            (s.total(), s.loads(), s.stores(), s.branches()),
+            (4, 1, 1, 1)
+        );
+        assert!(!s.is_closed());
+    }
+}

@@ -1,0 +1,309 @@
+//! Trace sources: where the simulator pulls records from.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::emit::Workload;
+use crate::record::TraceRecord;
+use crate::sink::{RecorderSink, TraceSink};
+
+/// The producer side consumed by the CPU model.
+///
+/// A source is infinite from the simulator's point of view: workload
+/// generators are restarted as needed, matching the paper's methodology of
+/// simulating a fixed instruction budget regardless of kernel length.
+pub trait TraceSource: Send {
+    /// Produces the next dynamic instruction.
+    ///
+    /// Returns `None` only if the source is genuinely exhausted (finite
+    /// captured traces); generator-backed sources never return `None`.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Stable workload name for reporting.
+    fn name(&self) -> &str;
+}
+
+/// Captures `budget` records from a workload by re-running it as needed.
+///
+/// # Panics
+///
+/// Panics if the workload emits no records at all (a broken generator).
+#[must_use]
+pub fn capture(workload: &dyn Workload, budget: usize) -> Vec<TraceRecord> {
+    let mut sink = RecorderSink::new(budget);
+    let mut guard = 0;
+    while !sink.is_closed() {
+        let before = sink.len();
+        workload.generate(&mut sink);
+        assert!(
+            sink.len() > before || sink.is_closed(),
+            "workload {} emitted no records",
+            workload.name()
+        );
+        guard += 1;
+        assert!(guard < 1_000_000, "workload restart runaway");
+    }
+    sink.into_records()
+}
+
+/// A finite, in-memory trace that replays captured records in a loop.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    name: String,
+    records: Arc<Vec<TraceRecord>>,
+    pos: usize,
+    looping: bool,
+}
+
+impl VecTrace {
+    /// Wraps captured records; replays once then ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "empty trace");
+        Self {
+            name: name.into(),
+            records: Arc::new(records),
+            pos: 0,
+            looping: false,
+        }
+    }
+
+    /// Wraps captured records and loops forever (SimPoint-style replay).
+    #[must_use]
+    pub fn looping(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        let mut t = Self::new(name, records);
+        t.looping = true;
+        t
+    }
+
+    /// Captures `budget` records from `workload` into a looping trace.
+    #[must_use]
+    pub fn from_workload(workload: &dyn Workload, budget: usize) -> Self {
+        Self::looping(workload.name().to_owned(), capture(workload, budget))
+    }
+
+    /// Number of distinct records before looping.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always false: construction rejects empty traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.pos >= self.records.len() {
+            if !self.looping {
+                return None;
+            }
+            self.pos = 0;
+        }
+        let r = self.records[self.pos];
+        self.pos += 1;
+        Some(r)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct ChannelSink {
+    tx: Sender<TraceRecord>,
+    closed: Arc<AtomicBool>,
+}
+
+impl TraceSink for ChannelSink {
+    fn emit(&mut self, rec: TraceRecord) -> bool {
+        if self.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.tx.send(rec).is_err() {
+            self.closed.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+}
+
+/// A trace streamed from a generator thread over a bounded channel.
+///
+/// This keeps memory bounded for long simulations: the generator runs ahead
+/// of the simulator by at most the channel capacity, and is restarted
+/// automatically when a kernel pass finishes.
+pub struct StreamingTrace {
+    name: String,
+    rx: Receiver<TraceRecord>,
+    closed: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StreamingTrace {
+    /// Default channel capacity (records buffered ahead of the simulator).
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Spawns a generator thread for `workload`.
+    #[must_use]
+    pub fn spawn(workload: Arc<dyn Workload>) -> Self {
+        Self::spawn_with_capacity(workload, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Spawns a generator thread with an explicit channel capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn spawn_with_capacity(workload: Arc<dyn Workload>, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        let closed = Arc::new(AtomicBool::new(false));
+        let name = workload.name().to_owned();
+        let thread_closed = Arc::clone(&closed);
+        let handle = std::thread::Builder::new()
+            .name(format!("tracegen-{name}"))
+            .spawn(move || {
+                let mut sink = ChannelSink {
+                    tx,
+                    closed: thread_closed,
+                };
+                while !sink.is_closed() {
+                    workload.generate(&mut sink);
+                }
+            })
+            .expect("spawn trace generator thread");
+        Self {
+            name,
+            rx,
+            closed,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl TraceSource for StreamingTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.rx.recv().ok()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for StreamingTrace {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::Relaxed);
+        // Drain so a blocked sender wakes up and observes the closed flag.
+        while self.rx.try_recv().is_ok() {}
+        // Drop the receiver end implicitly after join: detach by taking.
+        if let Some(h) = self.handle.take() {
+            // Keep draining until the generator exits to avoid deadlock on
+            // the bounded channel.
+            while !h.is_finished() {
+                while self.rx.try_recv().is_ok() {}
+                std::thread::yield_now();
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamingTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingTrace")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{Emitter, Suite};
+    use crate::record::Reg;
+
+    struct TinyWorkload;
+
+    impl Workload for TinyWorkload {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn suite(&self) -> Suite {
+            Suite::Spec
+        }
+        fn generate(&self, sink: &mut dyn TraceSink) {
+            let mut e = Emitter::new(sink, 0x1000);
+            for i in 0..10u64 {
+                if !e.load(0, 0x10_000 + i * 64, Reg(3), [None, None]) {
+                    return;
+                }
+                e.alu(1, Some(Reg(5)), [Some(Reg(3)), Some(Reg(5))]);
+                e.loop_branch(2, i != 9, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn capture_restarts_until_budget() {
+        let recs = capture(&TinyWorkload, 95);
+        assert_eq!(recs.len(), 95);
+        // One pass is 30 records; the fourth pass is cut short.
+        assert_eq!(recs[30].pc, recs[0].pc);
+    }
+
+    #[test]
+    fn vec_trace_loops() {
+        let mut t = VecTrace::looping("t", capture(&TinyWorkload, 30));
+        for _ in 0..75 {
+            assert!(t.next_record().is_some());
+        }
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn vec_trace_finite_ends() {
+        let mut t = VecTrace::new("t", capture(&TinyWorkload, 5));
+        for _ in 0..5 {
+            assert!(t.next_record().is_some());
+        }
+        assert!(t.next_record().is_none());
+    }
+
+    #[test]
+    fn streaming_trace_delivers_and_shuts_down() {
+        let mut t = StreamingTrace::spawn(Arc::new(TinyWorkload));
+        let mut n = 0;
+        for _ in 0..50_000 {
+            assert!(t.next_record().is_some());
+            n += 1;
+        }
+        assert_eq!(n, 50_000);
+        drop(t); // must not hang
+    }
+
+    #[test]
+    fn streaming_matches_capture_prefix() {
+        let reference = capture(&TinyWorkload, 100);
+        let mut t = StreamingTrace::spawn(Arc::new(TinyWorkload));
+        for r in &reference {
+            assert_eq!(t.next_record().as_ref(), Some(r));
+        }
+    }
+}

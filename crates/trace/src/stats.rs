@@ -1,0 +1,307 @@
+//! Workload characterization: instruction mix, memory footprint, reuse
+//! and stride profiles of a trace.
+//!
+//! The paper characterizes its workloads structurally (Table IV: element
+//! sizes, push/pull style, frontier use) and selects them by cache
+//! behaviour (§V-B filters on LLC MPKI > 1). This module computes the
+//! equivalent measurable properties for any record stream, so the
+//! synthetic catalog can be audited against the behaviours the paper
+//! relies on — big footprints, irregular strides, dependent loads.
+
+use std::collections::HashMap;
+
+use crate::record::{Op, TraceRecord};
+
+/// Cache-line size in bytes (matches `tlp-sim`; kept local so `tlp-trace`
+/// stays independent of the simulator crate).
+const LINE_SIZE: u64 = 64;
+
+/// Aggregate characterization of one trace slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Total records profiled.
+    pub instructions: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Distinct cache lines touched (memory footprint in lines).
+    pub footprint_lines: u64,
+    /// Distinct 4 KB pages touched.
+    pub footprint_pages: u64,
+    /// Distinct static PCs observed.
+    pub static_pcs: u64,
+    /// Loads whose address register was written by an earlier load
+    /// (pointer-chase / indirect-access indicator).
+    pub dependent_loads: u64,
+    /// Per-PC dominant stride coverage: fraction of memory accesses whose
+    /// stride (vs. the same PC's previous access) equals that PC's most
+    /// common stride. High values mean strided/prefetchable traffic.
+    pub stride_regularity: f64,
+}
+
+impl TraceProfile {
+    /// Loads per kilo-instruction.
+    #[must_use]
+    pub fn loads_pki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.loads as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Fraction of memory instructions among all instructions.
+    #[must_use]
+    pub fn mem_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.instructions as f64
+    }
+
+    /// Memory footprint in bytes (lines × 64).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * LINE_SIZE
+    }
+
+    /// Fraction of loads that depend on a prior load's result for their
+    /// address.
+    #[must_use]
+    pub fn dependent_load_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            return 0.0;
+        }
+        self.dependent_loads as f64 / self.loads as f64
+    }
+}
+
+/// Profiles a record slice.
+#[must_use]
+pub fn profile(records: &[TraceRecord]) -> TraceProfile {
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut branches = 0u64;
+    let mut taken = 0u64;
+    let mut lines: HashMap<u64, ()> = HashMap::new();
+    let mut pages: HashMap<u64, ()> = HashMap::new();
+    let mut pcs: HashMap<u64, ()> = HashMap::new();
+    // Which registers currently hold a loaded value.
+    let mut reg_from_load = [false; crate::record::Reg::COUNT];
+    let mut dependent_loads = 0u64;
+    // Per-PC last address and stride histogram (top stride only).
+    let mut last_addr: HashMap<u64, u64> = HashMap::new();
+    let mut stride_counts: HashMap<(u64, i64), u64> = HashMap::new();
+    let mut strided_total = 0u64;
+
+    for r in records {
+        pcs.entry(r.pc).or_insert(());
+        match r.op {
+            Op::Load => {
+                loads += 1;
+                let addr_dep = [r.src1, r.src2]
+                    .iter()
+                    .flatten()
+                    .any(|reg| reg_from_load[reg.index()]);
+                if addr_dep {
+                    dependent_loads += 1;
+                }
+                if let Some(dst) = r.dst {
+                    reg_from_load[dst.index()] = true;
+                }
+            }
+            Op::Store => stores += 1,
+            Op::Branch => {
+                branches += 1;
+                if r.taken {
+                    taken += 1;
+                }
+            }
+            Op::Alu | Op::Fp => {
+                if let Some(dst) = r.dst {
+                    reg_from_load[dst.index()] = false;
+                }
+            }
+        }
+        if r.op.is_mem() {
+            lines.entry(r.addr / LINE_SIZE).or_insert(());
+            pages.entry(r.addr / 4096).or_insert(());
+            if let Some(prev) = last_addr.insert(r.pc, r.addr) {
+                let stride = r.addr as i64 - prev as i64;
+                *stride_counts.entry((r.pc, stride)).or_insert(0) += 1;
+                strided_total += 1;
+            }
+        }
+    }
+
+    // Dominant-stride coverage: for each PC, take its most common stride's
+    // count; sum over PCs; divide by all stride observations.
+    let mut best_per_pc: HashMap<u64, u64> = HashMap::new();
+    for (&(pc, _), &n) in &stride_counts {
+        let e = best_per_pc.entry(pc).or_insert(0);
+        if n > *e {
+            *e = n;
+        }
+    }
+    let dominant: u64 = best_per_pc.values().sum();
+    let stride_regularity = if strided_total == 0 {
+        0.0
+    } else {
+        dominant as f64 / strided_total as f64
+    };
+
+    TraceProfile {
+        instructions: records.len() as u64,
+        loads,
+        stores,
+        branches,
+        taken_branches: taken,
+        footprint_lines: lines.len() as u64,
+        footprint_pages: pages.len() as u64,
+        static_pcs: pcs.len() as u64,
+        dependent_loads,
+        stride_regularity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Reg;
+
+    #[test]
+    fn empty_trace_profiles_to_zero() {
+        let p = profile(&[]);
+        assert_eq!(p.instructions, 0);
+        assert_eq!(p.loads_pki(), 0.0);
+        assert_eq!(p.mem_fraction(), 0.0);
+        assert_eq!(p.dependent_load_fraction(), 0.0);
+        assert_eq!(p.stride_regularity, 0.0);
+    }
+
+    #[test]
+    fn instruction_mix_is_counted() {
+        let recs = vec![
+            TraceRecord::load(0x400, 0x1000, 8, Reg(1), [None, None]),
+            TraceRecord::store(0x404, 0x2000, 8, Some(Reg(1)), None),
+            TraceRecord::alu(0x408, Some(Reg(2)), [Some(Reg(1)), None]),
+            TraceRecord::branch(0x40c, true, 0x400, None),
+            TraceRecord::branch(0x410, false, 0x400, None),
+        ];
+        let p = profile(&recs);
+        assert_eq!(p.instructions, 5);
+        assert_eq!(p.loads, 1);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.branches, 2);
+        assert_eq!(p.taken_branches, 1);
+        assert_eq!(p.static_pcs, 5);
+        assert!((p.mem_fraction() - 0.4).abs() < 1e-12);
+        assert!((p.loads_pki() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines_and_pages() {
+        let recs = vec![
+            TraceRecord::load(0x400, 0x1000, 8, Reg(1), [None, None]),
+            TraceRecord::load(0x400, 0x1008, 8, Reg(1), [None, None]), // same line
+            TraceRecord::load(0x400, 0x1040, 8, Reg(1), [None, None]), // next line, same page
+            TraceRecord::load(0x400, 0x9000, 8, Reg(1), [None, None]), // other page
+        ];
+        let p = profile(&recs);
+        assert_eq!(p.footprint_lines, 3);
+        assert_eq!(p.footprint_pages, 2);
+        assert_eq!(p.footprint_bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn pointer_chase_is_flagged_dependent() {
+        // load r2 <- [r2] repeatedly: every load after the first depends on
+        // a loaded value.
+        let recs: Vec<TraceRecord> = (0..10)
+            .map(|i| {
+                TraceRecord::load(0x400, 0x1000 + i * 64, 8, Reg(2), [Some(Reg(2)), None])
+            })
+            .collect();
+        let p = profile(&recs);
+        assert_eq!(p.loads, 10);
+        assert_eq!(p.dependent_loads, 9, "first load's source is not loaded");
+        assert!((p.dependent_load_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alu_breaks_load_dependence() {
+        let recs = vec![
+            TraceRecord::load(0x400, 0x1000, 8, Reg(2), [None, None]),
+            // r2 is overwritten by an ALU op: the next load's address is
+            // computed, not loaded.
+            TraceRecord::alu(0x404, Some(Reg(2)), [Some(Reg(2)), None]),
+            TraceRecord::load(0x408, 0x2000, 8, Reg(3), [Some(Reg(2)), None]),
+        ];
+        let p = profile(&recs);
+        assert_eq!(p.dependent_loads, 0);
+    }
+
+    #[test]
+    fn streaming_has_high_stride_regularity() {
+        let recs: Vec<TraceRecord> = (0..100)
+            .map(|i| TraceRecord::load(0x400, 0x1_0000 + i * 64, 8, Reg(1), [None, None]))
+            .collect();
+        let p = profile(&recs);
+        assert!(
+            p.stride_regularity > 0.99,
+            "a pure stream is perfectly strided: {}",
+            p.stride_regularity
+        );
+    }
+
+    #[test]
+    fn random_accesses_have_low_stride_regularity() {
+        // Quadratic residues scatter the addresses; no repeated stride.
+        let recs: Vec<TraceRecord> = (0..100u64)
+            .map(|i| {
+                TraceRecord::load(0x400, (i * i * 37) % 100_000 * 64, 8, Reg(1), [None, None])
+            })
+            .collect();
+        let p = profile(&recs);
+        assert!(
+            p.stride_regularity < 0.3,
+            "scattered accesses must look irregular: {}",
+            p.stride_regularity
+        );
+    }
+
+    #[test]
+    fn gap_kernels_are_less_regular_than_spec_streams() {
+        use crate::catalog::{self, Scale};
+        use crate::source::capture;
+        let stream = catalog::workload("spec.lbm_17", Scale::Tiny).expect("catalog");
+        let graph = catalog::workload("bfs.kron", Scale::Tiny).expect("catalog");
+        let ps = profile(&capture(stream.as_ref(), 20_000));
+        let pg = profile(&capture(graph.as_ref(), 20_000));
+        assert!(
+            ps.stride_regularity > pg.stride_regularity,
+            "lbm (stream) {:.2} must be more regular than bfs {:.2}",
+            ps.stride_regularity,
+            pg.stride_regularity
+        );
+        assert!(
+            pg.dependent_load_fraction() > 0.05,
+            "graph traversal must show dependent loads: {:.2}",
+            pg.dependent_load_fraction()
+        );
+    }
+
+    #[test]
+    fn footprint_scales_with_graph_size() {
+        use crate::catalog::{self, Scale};
+        use crate::source::capture;
+        let w = catalog::workload("pr.urand", Scale::Tiny).expect("catalog");
+        let small = profile(&capture(w.as_ref(), 5_000));
+        let big = profile(&capture(w.as_ref(), 50_000));
+        assert!(big.footprint_lines > small.footprint_lines);
+    }
+}

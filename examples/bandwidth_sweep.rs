@@ -1,0 +1,45 @@
+//! Bandwidth-sensitivity mini-study (the paper's Figure 16): sweep the
+//! per-core DRAM bandwidth on one 4-core mix and watch the schemes reorder
+//! as the system moves across the saturation knee.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_sweep
+//! ```
+
+use tlp::harness::mix::generate_mixes;
+use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
+
+fn main() {
+    let rc = RunConfig::quick();
+    let h = Harness::new(rc);
+    let mixes = generate_mixes(&h.active_workloads(), 2);
+    let mix = mixes
+        .iter()
+        .find(|m| !m.homogeneous)
+        .expect("heterogeneous mix exists");
+    println!(
+        "mix {}: {}\n",
+        mix.name,
+        mix.workloads
+            .iter()
+            .map(|w| w.name().to_owned())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "GB/s/core", "Baseline IPC", "Hermes IPC", "TLP IPC"
+    );
+    for bw in [1.6, 3.2, 6.4, 12.8, 25.6] {
+        let sum_ipc = |scheme: Scheme| -> f64 {
+            let r = h.run_mix(&mix.workloads, scheme, L1Pf::Ipcp, Some(bw));
+            r.cores.iter().map(|c| c.core.ipc()).sum()
+        };
+        println!(
+            "{bw:>10} {:>14.3} {:>14.3} {:>14.3}",
+            sum_ipc(Scheme::Baseline),
+            sum_ipc(Scheme::Hermes),
+            sum_ipc(Scheme::Tlp),
+        );
+    }
+}

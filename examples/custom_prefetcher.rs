@@ -1,0 +1,74 @@
+//! Extending the simulator: plug a custom L1D prefetcher into the hook
+//! traits and race it against IPCP under the TLP filter.
+//!
+//! ```text
+//! cargo run --release --example custom_prefetcher
+//! ```
+
+use tlp::core::variants::TlpVariant;
+use tlp::core::TlpConfig;
+use tlp::prefetch::Spp;
+use tlp::sim::engine::{CoreSetup, System};
+use tlp::sim::hooks::{DemandAccess, L1Prefetcher, PrefetchCandidate};
+use tlp::sim::types::LINE_SIZE;
+use tlp::sim::SystemConfig;
+use tlp::trace::catalog::{self, Scale};
+use tlp::trace::VecTrace;
+
+/// A toy "sandwich" prefetcher: on every miss, fetch both neighbors of the
+/// missing line. Implementing [`L1Prefetcher`] is all it takes to run on
+/// the full system.
+#[derive(Debug, Default)]
+struct Sandwich;
+
+impl L1Prefetcher for Sandwich {
+    fn on_access(&mut self, access: &DemandAccess, out: &mut Vec<PrefetchCandidate>) {
+        if access.hit {
+            return;
+        }
+        let line = access.vaddr & !(LINE_SIZE - 1);
+        out.push(PrefetchCandidate {
+            vaddr: line + LINE_SIZE,
+            fill_l1: true,
+        });
+        if line >= LINE_SIZE {
+            out.push(PrefetchCandidate {
+                vaddr: line - LINE_SIZE,
+                fill_l1: false,
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sandwich"
+    }
+}
+
+fn run(workload: &str, custom: bool) -> (f64, u64) {
+    let w = catalog::workload(workload, Scale::Quick).expect("known workload");
+    let trace = VecTrace::from_workload(w.as_ref(), 120_000);
+    let mut setup = CoreSetup::new(Box::new(trace))
+        .with_l2_prefetcher(Box::new(Spp::new(tlp::prefetch::SppConfig::standard())));
+    setup = if custom {
+        setup.with_l1_prefetcher(Box::new(Sandwich))
+    } else {
+        setup.with_l1_prefetcher(Box::new(tlp::prefetch::Ipcp::new()))
+    };
+    // Put the TLP filter on top in both cases.
+    let (flp, slp) = TlpVariant::Full.build(&TlpConfig::paper());
+    setup = setup
+        .with_offchip(Box::new(flp.expect("full TLP has FLP")))
+        .with_l1_filter(Box::new(slp.expect("full TLP has SLP")));
+    let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]);
+    let r = sys.run(20_000, 100_000);
+    (r.ipc(), r.dram_transactions())
+}
+
+fn main() {
+    println!("{:<14} {:>12} {:>12} {:>12} {:>12}", "workload", "ipcp IPC", "sandwich IPC", "ipcp DRAM", "sandwich DRAM");
+    for workload in ["spec.milc_06", "bfs.web", "pr.kron"] {
+        let (ipc_a, dram_a) = run(workload, false);
+        let (ipc_b, dram_b) = run(workload, true);
+        println!("{workload:<14} {ipc_a:>12.3} {ipc_b:>12.3} {dram_a:>12} {dram_b:>12}");
+    }
+}

@@ -1,0 +1,81 @@
+//! SimPoint phase analysis: the paper's traces are 1B-instruction
+//! SimPoints (§V-B). This example runs the same methodology end-to-end on
+//! a workspace workload — capture a long trace, cluster its basic-block
+//! vectors, pick representatives — and then *validates* it: the
+//! weighted IPC over the SimPoint slices should approximate the IPC of
+//! simulating the whole trace at a fraction of the cost.
+//!
+//! ```text
+//! cargo run --release --example phase_analysis [workload]
+//! ```
+
+use tlp::sim::engine::{CoreSetup, System};
+use tlp::sim::SystemConfig;
+use tlp::trace::catalog::{self, Scale};
+use tlp::trace::simpoint::{simpoints_of, BbvConfig};
+use tlp::trace::{capture, VecTrace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("pr.kron", String::as_str);
+    let Some(w) = catalog::workload(name, Scale::Quick) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    };
+
+    const TOTAL: usize = 400_000;
+    let cfg = BbvConfig {
+        interval: 20_000,
+        dims: 32,
+    };
+    println!("capturing {TOTAL} instructions of {name}...");
+    let records = capture(w.as_ref(), TOTAL);
+
+    let points = simpoints_of(&records, cfg, 4, 42);
+    println!(
+        "\n{} intervals of {} instructions → {} SimPoints:",
+        TOTAL / cfg.interval,
+        cfg.interval,
+        points.len()
+    );
+    for p in &points {
+        println!(
+            "  interval {:>3} (instructions {:>7}..{:>7})  weight {:.3}",
+            p.interval,
+            p.interval * cfg.interval,
+            (p.interval + 1) * cfg.interval,
+            p.weight
+        );
+    }
+
+    let simulate = |recs: Vec<tlp::trace::TraceRecord>, budget: u64| -> f64 {
+        let mut sys = System::new(
+            SystemConfig::cascade_lake(1),
+            vec![CoreSetup::new(Box::new(VecTrace::looping(name, recs)))],
+        );
+        sys.run(budget / 5, budget).ipc()
+    };
+
+    println!("\nsimulating the full trace...");
+    let full_ipc = simulate(records.clone(), TOTAL as u64);
+
+    println!("simulating each SimPoint slice...");
+    let mut weighted_ipc = 0.0;
+    let mut simulated = 0u64;
+    for p in &points {
+        let start = p.interval * cfg.interval;
+        let slice = records[start..start + cfg.interval].to_vec();
+        let ipc = simulate(slice, cfg.interval as u64);
+        weighted_ipc += p.weight * ipc;
+        simulated += cfg.interval as u64;
+        println!("  interval {:>3}: IPC {ipc:.3} (weight {:.3})", p.interval, p.weight);
+    }
+
+    let err = (weighted_ipc / full_ipc - 1.0) * 100.0;
+    println!(
+        "\nfull-trace IPC      {full_ipc:.3}  ({TOTAL} instructions)\n\
+         SimPoint-weighted   {weighted_ipc:.3}  ({simulated} instructions, {:.0}× cheaper)\n\
+         error               {err:+.1}%",
+        TOTAL as f64 / simulated as f64
+    );
+}

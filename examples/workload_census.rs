@@ -1,0 +1,63 @@
+//! Workload census: audit the synthetic catalog against the behaviours the
+//! paper relies on (Table IV / §V-B) — instruction mix, memory footprint,
+//! dependent-load fraction (indirect accesses) and stride regularity
+//! (prefetchability), per workload.
+//!
+//! ```text
+//! cargo run --release --example workload_census [records_per_workload]
+//! ```
+
+use tlp::trace::catalog::{self, Scale};
+use tlp::trace::stats::profile;
+use tlp::trace::{capture, emit::Suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let scale = Scale::Quick;
+
+    println!(
+        "{:<18} {:>6} {:>7} {:>7} {:>9} {:>8} {:>7} {:>7}",
+        "workload", "ld/ki", "st/ki", "br/ki", "footprint", "pages", "dep-ld", "stride"
+    );
+    let mut by_suite: std::collections::HashMap<Suite, Vec<(f64, f64)>> = Default::default();
+    for w in catalog::single_core_set(scale) {
+        let recs = capture(w.as_ref(), budget);
+        let p = profile(&recs);
+        println!(
+            "{:<18} {:>6.0} {:>7.0} {:>7.0} {:>8.1}K {:>8} {:>6.1}% {:>6.1}%",
+            w.name(),
+            p.loads_pki(),
+            p.stores as f64 * 1000.0 / p.instructions as f64,
+            p.branches as f64 * 1000.0 / p.instructions as f64,
+            p.footprint_bytes() as f64 / 1024.0,
+            p.footprint_pages,
+            p.dependent_load_fraction() * 100.0,
+            p.stride_regularity * 100.0,
+        );
+        by_suite
+            .entry(w.suite())
+            .or_default()
+            .push((p.stride_regularity, p.dependent_load_fraction()));
+    }
+    println!();
+    for (suite, vals) in &by_suite {
+        let stride: f64 = vals.iter().map(|v| v.0).sum::<f64>() / vals.len() as f64;
+        let dep: f64 = vals.iter().map(|v| v.1).sum::<f64>() / vals.len() as f64;
+        println!(
+            "{suite}: mean stride regularity {:.1}%, mean dependent loads {:.1}% over {} workloads",
+            stride * 100.0,
+            dep * 100.0,
+            vals.len()
+        );
+    }
+    println!(
+        "\nReading the columns: graph traversals live off *dependent* loads\n\
+         (index load feeds data load) — their DRAM-bound prefetches are what\n\
+         SLP filters. Stride regularity separates the stream/stencil SPEC\n\
+         kernels (prefetchable) from pointer-chasing ones within each suite."
+    );
+}

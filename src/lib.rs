@@ -1,0 +1,12 @@
+//! `tlp`: the facade crate for the TLP (Two Level Perceptron) reproduction.
+//!
+//! Re-exports the workspace crates under short names. See the README for a
+//! tour and `examples/` for runnable entry points.
+
+pub use tlp_baselines as baselines;
+pub use tlp_core as core;
+pub use tlp_harness as harness;
+pub use tlp_perceptron as perceptron;
+pub use tlp_prefetch as prefetch;
+pub use tlp_sim as sim;
+pub use tlp_trace as trace;
