@@ -8,8 +8,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use tlp_harness::experiments::{
-    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
-    ext06_victim,
+    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage, ext06_victim,
 };
 use tlp_harness::{Harness, RunConfig};
 

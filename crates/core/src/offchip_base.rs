@@ -41,7 +41,10 @@ impl OffChipPerceptronConfig {
     /// Panics if `factor` is not a power of two.
     #[must_use]
     pub fn scaled(factor: usize) -> Self {
-        assert!(factor.is_power_of_two(), "scale factor must be a power of two");
+        assert!(
+            factor.is_power_of_two(),
+            "scale factor must be a power of two"
+        );
         let mut cfg = Self::paper();
         for s in &mut cfg.table_sizes {
             *s *= factor;

@@ -199,7 +199,11 @@ mod tests {
         let mut slp = Slp::new(SlpConfig::paper());
         train(&mut slp, 0x400, true, 300);
         let (issue, tag) = slp.filter(&ctx(0x400, 0x900_0000, true));
-        assert!(!issue, "saturated off-chip prefetch must be dropped ({})", tag.confidence);
+        assert!(
+            !issue,
+            "saturated off-chip prefetch must be dropped ({})",
+            tag.confidence
+        );
     }
 
     #[test]

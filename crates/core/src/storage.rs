@@ -69,9 +69,8 @@ impl StorageReport {
 /// Computes the Table II storage budget from a live configuration.
 #[must_use]
 pub fn storage_report(cfg: &TlpConfig) -> StorageReport {
-    let weight_bits = |sizes: &[usize], wbits: u32| -> usize {
-        sizes.iter().sum::<usize>() * wbits as usize
-    };
+    let weight_bits =
+        |sizes: &[usize], wbits: u32| -> usize { sizes.iter().sum::<usize>() * wbits as usize };
     let flp_weights_bits = weight_bits(
         &cfg.flp.perceptron.enabled_sizes(),
         cfg.flp.perceptron.weight_bits,

@@ -59,19 +59,13 @@ impl TlpVariant {
     /// Builds the FLP/SLP halves for this variant from a base config.
     #[must_use]
     pub fn build(self, cfg: &TlpConfig) -> (Option<Flp>, Option<Slp>) {
-        let flp_cfg = |delay| FlpConfig {
-            delay,
-            ..cfg.flp
-        };
+        let flp_cfg = |delay| FlpConfig { delay, ..cfg.flp };
         let slp_plain = SlpConfig {
             use_leveling: false,
             ..cfg.slp
         };
         match self {
-            TlpVariant::FlpOnly => (
-                Some(Flp::new(flp_cfg(crate::flp::DelayMode::Never))),
-                None,
-            ),
+            TlpVariant::FlpOnly => (Some(Flp::new(flp_cfg(crate::flp::DelayMode::Never))), None),
             TlpVariant::SlpOnly => (None, Some(Slp::new(slp_plain))),
             TlpVariant::Tsp => (
                 Some(Flp::new(flp_cfg(crate::flp::DelayMode::Never))),
@@ -108,7 +102,12 @@ mod tests {
         assert!(f.is_some() && s.is_none());
         let (f, s) = TlpVariant::SlpOnly.build(&cfg);
         assert!(f.is_none() && s.is_some());
-        for v in [TlpVariant::Tsp, TlpVariant::DelayedTsp, TlpVariant::SelectiveTsp, TlpVariant::Full] {
+        for v in [
+            TlpVariant::Tsp,
+            TlpVariant::DelayedTsp,
+            TlpVariant::SelectiveTsp,
+            TlpVariant::Full,
+        ] {
             let (f, s) = v.build(&cfg);
             assert!(f.is_some() && s.is_some(), "{v:?} must build both");
         }

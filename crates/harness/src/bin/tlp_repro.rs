@@ -89,8 +89,7 @@ fn main() {
             for fmt in &formats {
                 match *fmt {
                     "chart" => {
-                        if let Some((col, _)) = r.rows.first().and_then(|row| row.values.first())
-                        {
+                        if let Some((col, _)) = r.rows.first().and_then(|row| row.values.first()) {
                             let chart = r.render_chart(&col.clone(), 50);
                             if !chart.is_empty() {
                                 println!("{chart}");

@@ -32,10 +32,7 @@ fn sweep(
     make: impl Fn(i32) -> TlpParams,
 ) -> ExperimentResult {
     let mut result = ExperimentResult::new(id, title, "% (speedup geomean / ΔDRAM mean)");
-    let schemes: Vec<Scheme> = points
-        .iter()
-        .map(|&t| Scheme::TlpCustom(make(t)))
-        .collect();
+    let schemes: Vec<Scheme> = points.iter().map(|&t| Scheme::TlpCustom(make(t))).collect();
     let summary = speedup_and_dram(h, &schemes, L1Pf::Ipcp);
     for (&t, (speedup, ddram)) in points.iter().zip(summary) {
         result.rows.push(Row::new(

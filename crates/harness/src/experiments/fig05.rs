@@ -15,11 +15,7 @@ use super::{mean_summaries, sweep_single_core};
 /// Serving levels an L1D prefetch can come from.
 pub const SERVING_LEVELS: [Level; 3] = [Level::L2, Level::Llc, Level::Dram];
 
-pub(crate) fn ppki_rows(
-    h: &Harness,
-    l1pf: L1Pf,
-    useful: bool,
-) -> Vec<(Suite, Row)> {
+pub(crate) fn ppki_rows(h: &Harness, l1pf: L1Pf, useful: bool) -> Vec<(Suite, Row)> {
     let data = sweep_single_core(h, &[], l1pf);
     let mut tagged = Vec::new();
     for (w, reports) in &data {
@@ -40,7 +36,10 @@ pub(crate) fn ppki_rows(
 pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         format!("fig05-{}", l1pf.name()),
-        format!("Serving level of inaccurate L1D prefetches ({})", l1pf.name()),
+        format!(
+            "Serving level of inaccurate L1D prefetches ({})",
+            l1pf.name()
+        ),
         "PPKI (prefetches per kilo-instruction)",
     );
     let columns: Vec<String> = SERVING_LEVELS.iter().map(|l| l.to_string()).collect();

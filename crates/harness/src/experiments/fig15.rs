@@ -20,7 +20,10 @@ pub fn run(h: &Harness) -> ExperimentResult {
         "% weighted speedup over baseline (geomean)",
     );
     let l1pf = L1Pf::Ipcp;
-    let schemes: Vec<Scheme> = TlpVariant::ALL.iter().map(|&v| Scheme::Variant(v)).collect();
+    let schemes: Vec<Scheme> = TlpVariant::ALL
+        .iter()
+        .map(|&v| Scheme::Variant(v))
+        .collect();
     let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
     let per_mix = h.parallel_map(mixes, |m| {
         let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
@@ -38,10 +41,7 @@ pub fn run(h: &Harness) -> ExperimentResult {
     // Summary: one geomean per variant, in the paper's order.
     let mut values = Vec::new();
     for s in &schemes {
-        let xs: Vec<f64> = per_mix
-            .iter()
-            .filter_map(|r| r.get(s.name()))
-            .collect();
+        let xs: Vec<f64> = per_mix.iter().filter_map(|r| r.get(s.name())).collect();
         values.push((s.name().to_string(), geomean_speedup_percent(&xs)));
     }
     result.summary.push(Row::new("geomean", values));

@@ -50,7 +50,10 @@ pub fn run(h: &Harness) -> ExperimentResult {
         let mut values = Vec::new();
         for (i, s) in schemes.iter().enumerate() {
             let sp: Vec<f64> = per_mix.iter().map(|(a, _)| a[i]).collect();
-            values.push((format!("{} speedup", s.name()), geomean_speedup_percent(&sp)));
+            values.push((
+                format!("{} speedup", s.name()),
+                geomean_speedup_percent(&sp),
+            ));
         }
         for (i, s) in schemes.iter().enumerate() {
             let d: Vec<f64> = per_mix.iter().map(|(_, b)| b[i]).collect();

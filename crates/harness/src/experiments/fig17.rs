@@ -18,7 +18,10 @@ pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
     };
     let mut result = ExperimentResult::new(
         format!("fig17-{}", l1pf.name()),
-        format!("Designs enhanced with TLP's storage budget ({})", l1pf.name()),
+        format!(
+            "Designs enhanced with TLP's storage budget ({})",
+            l1pf.name()
+        ),
         "% geomean speedup over baseline",
     );
 
@@ -64,14 +67,8 @@ pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
     result.rows.push(Row::new(
         "multi-core",
         vec![
-            (
-                pf_label.to_string(),
-                geomean_speedup_percent(&col(|t| t.0)),
-            ),
-            (
-                "Hermes+7KB".into(),
-                geomean_speedup_percent(&col(|t| t.1)),
-            ),
+            (pf_label.to_string(), geomean_speedup_percent(&col(|t| t.0))),
+            ("Hermes+7KB".into(), geomean_speedup_percent(&col(|t| t.1))),
             ("TLP".into(), geomean_speedup_percent(&col(|t| t.2))),
         ],
     ));

@@ -50,8 +50,11 @@ pub fn table2() -> ExperimentResult {
 /// Table III: the simulated system configuration (headline numbers).
 #[must_use]
 pub fn table3() -> ExperimentResult {
-    let mut result =
-        ExperimentResult::new("table3", "System configuration (Cascade Lake-like)", "various");
+    let mut result = ExperimentResult::new(
+        "table3",
+        "System configuration (Cascade Lake-like)",
+        "various",
+    );
     let c1 = SystemConfig::cascade_lake(1);
     let c4 = SystemConfig::cascade_lake(4);
     result.rows = vec![

@@ -60,7 +60,8 @@ pub fn generate_mixes(workloads: &[Arc<dyn Workload>], per_kind: usize) -> Vec<M
             Suite::Spec => "spec",
             Suite::Gap => "gap",
         };
-        let mut rng = StdRng::seed_from_u64(MIX_SEED ^ (tag.len() as u64) << 32 ^ pool.len() as u64);
+        let mut rng =
+            StdRng::seed_from_u64(MIX_SEED ^ (tag.len() as u64) << 32 ^ pool.len() as u64);
         for i in 0..per_kind {
             let w = pool[rng.gen_range(0..pool.len())].clone();
             out.push(Mix {
@@ -74,7 +75,12 @@ pub fn generate_mixes(workloads: &[Arc<dyn Workload>], per_kind: usize) -> Vec<M
             let pick = |rng: &mut StdRng| pool[rng.gen_range(0..pool.len())].clone();
             out.push(Mix {
                 name: format!("{tag}-het-{i:02}"),
-                workloads: [pick(&mut rng), pick(&mut rng), pick(&mut rng), pick(&mut rng)],
+                workloads: [
+                    pick(&mut rng),
+                    pick(&mut rng),
+                    pick(&mut rng),
+                    pick(&mut rng),
+                ],
                 suite,
                 homogeneous: false,
             });

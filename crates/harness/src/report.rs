@@ -72,7 +72,10 @@ impl ExperimentResult {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} [{}]\n", self.id, self.title, self.unit));
+        out.push_str(&format!(
+            "== {} — {} [{}]\n",
+            self.id, self.title, self.unit
+        ));
         let columns: Vec<String> = self
             .rows
             .first()
@@ -145,7 +148,9 @@ impl ExperimentResult {
                     let vals: Vec<String> = r
                         .values
                         .iter()
-                        .map(|(c, v)| format!("{{\"column\":\"{}\",\"value\":{}}}", esc(c), num(*v)))
+                        .map(|(c, v)| {
+                            format!("{{\"column\":\"{}\",\"value\":{}}}", esc(c), num(*v))
+                        })
                         .collect();
                     format!(
                         "{{\"label\":\"{}\",\"values\":[{}]}}",
@@ -261,12 +266,12 @@ mod tests {
 
     fn result() -> ExperimentResult {
         let mut r = ExperimentResult::new("figX", "Test", "%");
-        r.rows.push(Row::new(
-            "w1",
+        r.rows
+            .push(Row::new("w1", vec![("A".into(), 1.5), ("B".into(), -2.25)]));
+        r.summary.push(Row::new(
+            "mean",
             vec![("A".into(), 1.5), ("B".into(), -2.25)],
         ));
-        r.summary
-            .push(Row::new("mean", vec![("A".into(), 1.5), ("B".into(), -2.25)]));
         r
     }
 
@@ -312,7 +317,8 @@ mod tests {
     #[test]
     fn json_escapes_special_characters() {
         let mut r = ExperimentResult::new("e", "quote \" and \\ slash", "");
-        r.rows.push(Row::new("line\nbreak", vec![("c".into(), 1.0)]));
+        r.rows
+            .push(Row::new("line\nbreak", vec![("c".into(), 1.0)]));
         let s = r.to_json();
         assert!(s.contains("quote \\\" and \\\\ slash"));
         assert!(s.contains("line\\nbreak"));
@@ -339,8 +345,7 @@ mod tests {
     #[test]
     fn csv_quotes_awkward_labels() {
         let mut r = ExperimentResult::new("e", "t", "");
-        r.rows
-            .push(Row::new("a,b \"c\"", vec![("x".into(), 1.0)]));
+        r.rows.push(Row::new("a,b \"c\"", vec![("x".into(), 1.0)]));
         let s = r.to_csv();
         assert!(s.contains("\"a,b \"\"c\"\"\",1"));
     }

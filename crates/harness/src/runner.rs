@@ -146,7 +146,12 @@ impl Harness {
         let (spec, gap) = self.suite_names();
         let pick = |names: &[String]| -> Vec<String> {
             let step = (names.len() / per_suite.max(1)).max(1);
-            names.iter().step_by(step).take(per_suite).cloned().collect()
+            names
+                .iter()
+                .step_by(step)
+                .take(per_suite)
+                .cloned()
+                .collect()
         };
         let mut chosen: Vec<String> = pick(&spec);
         chosen.extend(pick(&gap));
@@ -412,8 +417,7 @@ mod tests {
         let h = Harness::new(RunConfig::test());
         let sub = h.workload_subset(2);
         assert_eq!(sub.len(), 4);
-        let suites: std::collections::HashSet<_> =
-            sub.iter().map(|w| w.suite()).collect();
+        let suites: std::collections::HashSet<_> = sub.iter().map(|w| w.suite()).collect();
         assert_eq!(suites.len(), 2);
     }
 }

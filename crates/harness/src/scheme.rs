@@ -93,7 +93,9 @@ impl TlpParams {
     pub fn build_config(self) -> TlpConfig {
         let perceptron = match self.drop_feature {
             Some(i) => OffChipPerceptronConfig::without_feature(i as usize),
-            None => OffChipPerceptronConfig::resized(self.resize.0 as usize, self.resize.1 as usize),
+            None => {
+                OffChipPerceptronConfig::resized(self.resize.0 as usize, self.resize.1 as usize)
+            }
         };
         let mut cfg = TlpConfig::paper();
         cfg.flp.perceptron = perceptron;

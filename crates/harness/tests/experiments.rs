@@ -84,7 +84,11 @@ fn ext04_has_baseline_plus_one_row_per_feature() {
 fn ext05_storage_grows_monotonically() {
     let h = tiny_harness();
     let r = ext05_storage::run(&h);
-    assert_well_formed(&r, ext05_storage::FACTORS.len(), &["storage KB", "speedup", "ΔDRAM"]);
+    assert_well_formed(
+        &r,
+        ext05_storage::FACTORS.len(),
+        &["storage KB", "speedup", "ΔDRAM"],
+    );
     let kbs: Vec<f64> = r
         .rows
         .iter()

@@ -1,0 +1,177 @@
+//! Direct unit coverage for the neural layer: weight saturation under
+//! repeated training, hash determinism, and table-indexing bounds.
+
+use tlp_perceptron::{
+    combine, fold, mix64, FeatureIndices, HashedPerceptron, SaturatingCounter, TableSpec,
+    WeightTable, MAX_FEATURES,
+};
+
+#[test]
+fn weights_saturate_on_repeated_positive_training() {
+    // Every legal width must pin at +2^(b-1)-1 and never overshoot, no
+    // matter how long training continues.
+    for bits in 2..=8 {
+        let mut p = HashedPerceptron::new(&[TableSpec::new(64, bits)]);
+        let idx = p.indices(&[0x1234_5678]);
+        let (_, hi) = p.sum_bounds();
+        for step in 0..4 * (1 << bits) {
+            p.train(&idx, true);
+            assert!(p.sum(&idx) <= hi, "width {bits} overshot at step {step}");
+        }
+        assert_eq!(p.sum(&idx), hi, "width {bits} must saturate at {hi}");
+        // One opposing update must move it off the rail (not sticky).
+        p.train(&idx, false);
+        assert_eq!(p.sum(&idx), hi - 1);
+    }
+}
+
+#[test]
+fn weights_saturate_on_repeated_negative_training() {
+    for bits in 2..=8 {
+        let mut p = HashedPerceptron::new(&[TableSpec::new(64, bits)]);
+        let idx = p.indices(&[0x9abc_def0]);
+        let (lo, _) = p.sum_bounds();
+        for _ in 0..4 * (1 << bits) {
+            p.train(&idx, false);
+            assert!(p.sum(&idx) >= lo);
+        }
+        assert_eq!(p.sum(&idx), lo);
+    }
+}
+
+#[test]
+fn thresholded_training_stops_at_theta_band() {
+    // With a correct prediction, thresholded training only reinforces while
+    // |sum| < theta: the sum must settle in [theta, theta+per-step delta).
+    let mut p = HashedPerceptron::new(&[TableSpec::new(64, 6), TableSpec::new(64, 6)]);
+    let idx = p.indices(&[3, 5]);
+    let theta = 9;
+    for _ in 0..100 {
+        let sum = p.sum(&idx);
+        p.train_thresholded(&idx, true, sum, theta);
+    }
+    let settled = p.sum(&idx);
+    // Two tables move the sum by 2 per update.
+    assert!(
+        settled >= theta && settled < theta + 2,
+        "sum {settled} should settle just past theta {theta}"
+    );
+}
+
+#[test]
+fn saturating_counter_is_exact_at_the_rails() {
+    let mut c = SaturatingCounter::new(2); // range [-2, 1]
+    assert_eq!(c.bounds(), (-2, 1));
+    c.increment();
+    c.increment();
+    c.increment();
+    assert_eq!(c.value(), 1);
+    for _ in 0..10 {
+        c.decrement();
+    }
+    assert_eq!(c.value(), -2);
+    c.reset();
+    assert_eq!(c.value(), 0);
+}
+
+#[test]
+fn hashes_are_deterministic_across_instances() {
+    // The same feature hashes must resolve to the same indices in every
+    // identically-shaped perceptron — predictions stored in load-queue
+    // metadata rely on this.
+    let specs = [TableSpec::new(256, 5), TableSpec::new(128, 5)];
+    let a = HashedPerceptron::new(&specs);
+    let b = HashedPerceptron::new(&specs);
+    for seed in 0..64u64 {
+        let h = [mix64(seed), combine(seed, !seed)];
+        assert_eq!(a.indices(&h), b.indices(&h));
+    }
+    // And the raw primitives themselves are pure functions.
+    for x in [0u64, 1, 0xdead_beef, u64::MAX] {
+        assert_eq!(mix64(x), mix64(x));
+        assert_eq!(combine(x, x ^ 1), combine(x, x ^ 1));
+        assert_eq!(fold(x, 9), fold(x, 9));
+    }
+}
+
+#[test]
+fn mix64_avalanches_single_bit_flips() {
+    // Flipping any single input bit must flip a healthy fraction of output
+    // bits, otherwise nearby PCs would collide systematically.
+    for bit in 0..64 {
+        let a = mix64(0x0123_4567_89ab_cdef);
+        let b = mix64(0x0123_4567_89ab_cdef ^ (1u64 << bit));
+        assert!(
+            (a ^ b).count_ones() >= 16,
+            "weak avalanche on input bit {bit}"
+        );
+    }
+}
+
+#[test]
+fn table_indices_stay_in_bounds_for_adversarial_hashes() {
+    for entries in [2usize, 64, 256, 4096] {
+        let t = WeightTable::new(TableSpec::new(entries, 5));
+        let adversarial = [
+            0u64,
+            1,
+            entries as u64,
+            entries as u64 - 1,
+            entries as u64 + 1,
+            u64::MAX,
+            u64::MAX - 1,
+            0x8000_0000_0000_0000,
+            0xaaaa_aaaa_aaaa_aaaa,
+            0x5555_5555_5555_5555,
+        ];
+        for &h in &adversarial {
+            let i = t.index_of(h);
+            assert!(i < entries, "hash {h:#x} indexed {i} >= {entries}");
+        }
+    }
+}
+
+#[test]
+fn perceptron_indices_stay_in_bounds_per_table() {
+    // Mixed geometries: each index must respect its own table's bound.
+    let sizes = [64usize, 2048, 128, 4096];
+    let specs: Vec<TableSpec> = sizes.iter().map(|&s| TableSpec::new(s, 5)).collect();
+    let p = HashedPerceptron::new(&specs);
+    for seed in 0..256u64 {
+        let hashes = [
+            mix64(seed),
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            !seed,
+            seed.rotate_left(17),
+        ];
+        let idx = p.indices(&hashes);
+        assert_eq!(idx.len(), sizes.len());
+        for (i, (got, &bound)) in idx.iter().zip(&sizes).enumerate() {
+            assert!(got < bound, "feature {i}: index {got} >= {bound}");
+        }
+    }
+}
+
+#[test]
+fn feature_indices_capacity_matches_max_features() {
+    let specs: Vec<TableSpec> = (0..MAX_FEATURES).map(|_| TableSpec::new(64, 5)).collect();
+    let p = HashedPerceptron::new(&specs);
+    let hashes: Vec<u64> = (0..MAX_FEATURES as u64).collect();
+    let idx = p.indices(&hashes);
+    assert_eq!(idx.len(), MAX_FEATURES);
+    assert!(!idx.is_empty());
+    assert_eq!(FeatureIndices::empty().len(), 0);
+}
+
+#[test]
+fn index_distribution_covers_the_table() {
+    // Distinct realistic PCs must spread over most of a small table, not
+    // cluster into a handful of hot entries.
+    let t = WeightTable::new(TableSpec::new(64, 5));
+    let mut hit = [false; 64];
+    for pc in 0..1024u64 {
+        hit[t.index_of(0x400_000 + pc * 4)] = true;
+    }
+    let covered = hit.iter().filter(|&&h| h).count();
+    assert!(covered > 56, "only {covered}/64 entries used: poor spread");
+}

@@ -32,7 +32,9 @@ struct DeltaInfo {
 
 impl DeltaInfo {
     fn coverage(&self) -> u32 {
-        (self.timely * 100).checked_div(self.occurrences).unwrap_or(0)
+        (self.timely * 100)
+            .checked_div(self.occurrences)
+            .unwrap_or(0)
     }
 }
 
@@ -220,7 +222,13 @@ mod tests {
     }
 
     /// Drives a strided miss stream with `latency`-cycle fills.
-    fn drive_stream(p: &mut Berti, stride: u64, n: u64, gap: Cycle, latency: Cycle) -> Vec<PrefetchCandidate> {
+    fn drive_stream(
+        p: &mut Berti,
+        stride: u64,
+        n: u64,
+        gap: Cycle,
+        latency: Cycle,
+    ) -> Vec<PrefetchCandidate> {
         let mut out = Vec::new();
         let mut last = Vec::new();
         for i in 0..n {
@@ -284,7 +292,9 @@ mod tests {
         let mut out = Vec::new();
         let mut x = 777u64;
         for i in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let va = (x % (1 << 30)) & !(LINE_SIZE - 1);
             p.on_access(&access(0x400, va, i * 30, false), &mut out);
             p.on_fill(va, i * 30 + 90);

@@ -322,7 +322,10 @@ mod tests {
         // then the next access should stream with degree 4.
         for i in 0..60u64 {
             out.clear();
-            p.on_access(&access(0x400 + (i % 7) * 8, 0x800_0000 + i * LINE_SIZE), &mut out);
+            p.on_access(
+                &access(0x400 + (i % 7) * 8, 0x800_0000 + i * LINE_SIZE),
+                &mut out,
+            );
         }
         assert!(
             out.len() >= 6,

@@ -8,7 +8,7 @@
 //! L2; lower-confidence ones fill only the LLC.
 
 use tlp_sim::hooks::{L2Access, L2PrefetchCandidate, L2Prefetcher};
-use tlp_sim::types::{line_offset_in_page, page_of, LINE_SIZE, LINES_PER_PAGE};
+use tlp_sim::types::{line_offset_in_page, page_of, LINES_PER_PAGE, LINE_SIZE};
 
 const SIG_TABLE_SIZE: usize = 256;
 const PATTERN_TABLE_SIZE: usize = 512;

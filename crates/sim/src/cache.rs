@@ -363,8 +363,8 @@ impl Cache {
             .iter()
             .any(|w| w.kind.fill_level().index() <= my_rank);
         let any_demand = mshr.waiters.iter().any(|w| w.kind.is_demand());
-        let make_dirty = mshr.waiters.iter().any(|w| w.kind == ReqKind::Rfo)
-            && self.level == Level::L1d;
+        let make_dirty =
+            mshr.waiters.iter().any(|w| w.kind == ReqKind::Rfo) && self.level == Level::L1d;
         if wants_fill {
             let pf_meta = if any_demand {
                 None
@@ -382,7 +382,8 @@ impl Cache {
                 .find(|w| w.kind.is_demand())
                 .or_else(|| mshr.waiters.first())
                 .map_or(0, |w| w.pc);
-            let (wb, ev, victim_line) = self.insert(line, served_from, make_dirty, pf_meta, fill_pc);
+            let (wb, ev, victim_line) =
+                self.insert(line, served_from, make_dirty, pf_meta, fill_pc);
             out.writeback = wb;
             out.evicted_prefetch = ev;
             out.evicted_line = victim_line;
@@ -488,6 +489,16 @@ impl Cache {
             return true;
         }
         false
+    }
+
+    /// Forgets the prefetch provenance of every resident line. Called at
+    /// the warmup/measurement boundary so that only prefetches filled
+    /// inside the measured window can produce useful/useless outcomes.
+    pub fn clear_prefetch_marks(&mut self) {
+        for l in &mut self.lines {
+            l.prefetched = false;
+            l.pf_useful = false;
+        }
     }
 
     /// Sweeps the array at end of simulation, reporting prefetched-but-
@@ -601,7 +612,7 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_victim() {
         let mut c = cache(); // 8 sets, 2 ways
-        // Two lines in the same set, both dirtied via RFO fills.
+                             // Two lines in the same set, both dirtied via RFO fills.
         let s0 = 0u64;
         let line = |i: u64| (s0 + i * 8) * LINE_SIZE; // same set each 8 lines (8 sets)
         for (i, id) in [(0u64, 1u64), (1, 2)] {

@@ -32,7 +32,9 @@ impl CacheConfig {
             return Err(ConfigError(format!("{name}: sets must be a power of two")));
         }
         if self.ways == 0 || self.mshrs == 0 {
-            return Err(ConfigError(format!("{name}: ways and mshrs must be nonzero")));
+            return Err(ConfigError(format!(
+                "{name}: ways and mshrs must be nonzero"
+            )));
         }
         Ok(())
     }

@@ -80,7 +80,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 180, "failed to learn a monotone branch: {correct}");
+        assert!(
+            correct > 180,
+            "failed to learn a monotone branch: {correct}"
+        );
     }
 
     #[test]

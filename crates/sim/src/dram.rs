@@ -106,11 +106,7 @@ impl Dram {
     pub fn push_read(&mut self, req: Request) -> bool {
         let line = req.line();
         let core = req.core;
-        for t in self
-            .in_flight
-            .iter_mut()
-            .chain(self.read_q.iter_mut())
-        {
+        for t in self.in_flight.iter_mut().chain(self.read_q.iter_mut()) {
             if !t.is_write && t.line == line && t.core == core {
                 if t.is_spec {
                     self.stats.spec_consumed += 1;

@@ -305,7 +305,10 @@ impl System {
 
     fn all_done(&self) -> bool {
         self.cores.iter().all(|c| {
-            c.trace_exhausted && c.core.pending() == 0 && c.l1d.pending() == 0 && c.l2.pending() == 0
+            c.trace_exhausted
+                && c.core.pending() == 0
+                && c.l1d.pending() == 0
+                && c.l2.pending() == 0
         }) && self.llc.pending() == 0
             && self.dram.pending() == 0
             && self.spec_pending.is_empty()
@@ -334,7 +337,13 @@ impl System {
             c.l1_pf_stats = Default::default();
             c.l2_pf_stats = Default::default();
             c.finish_cycle = None;
+            // Forget warmup-era prefetch provenance: outcomes must only be
+            // attributed to prefetches filled inside the measured window,
+            // otherwise useless counts can exceed issued counts.
+            c.l1d.clear_prefetch_marks();
+            c.l2.clear_prefetch_marks();
         }
+        self.llc.clear_prefetch_marks();
         self.llc.stats = Default::default();
         self.dram.stats = Default::default();
         if let Some(vc) = &mut self.victim {
@@ -460,7 +469,13 @@ impl System {
             {
                 let line = req.line();
                 let fill = self.llc.fill(line, Level::Llc, now);
-                self.handle_llc_fill(fill.writeback, fill.evicted_prefetch, fill.evicted_line, req.core, now);
+                self.handle_llc_fill(
+                    fill.writeback,
+                    fill.evicted_prefetch,
+                    fill.evicted_line,
+                    req.core,
+                    now,
+                );
                 let mut seen: Vec<CoreId> = Vec::new();
                 for w in &fill.waiters {
                     if !seen.contains(&w.core) {
@@ -482,7 +497,13 @@ impl System {
         if req.kind.is_demand() && self.dram.take_ddrp(req.core, req.paddr) {
             let line = req.line();
             let fill = self.llc.fill(line, Level::Dram, now);
-            self.handle_llc_fill(fill.writeback, fill.evicted_prefetch, fill.evicted_line, req.core, now);
+            self.handle_llc_fill(
+                fill.writeback,
+                fill.evicted_prefetch,
+                fill.evicted_line,
+                req.core,
+                now,
+            );
             let mut seen: Vec<CoreId> = Vec::new();
             for w in &fill.waiters {
                 if !seen.contains(&w.core) {
@@ -502,7 +523,13 @@ impl System {
     fn deliver_from_dram(&mut self, req: &Request, now: Cycle) {
         let line = req.line();
         let fill = self.llc.fill(line, Level::Dram, now);
-        self.handle_llc_fill(fill.writeback, fill.evicted_prefetch, fill.evicted_line, req.core, now);
+        self.handle_llc_fill(
+            fill.writeback,
+            fill.evicted_prefetch,
+            fill.evicted_line,
+            req.core,
+            now,
+        );
         let mut seen: Vec<CoreId> = Vec::new();
         for w in &fill.waiters {
             if !seen.contains(&w.core) {
@@ -632,8 +659,7 @@ impl System {
         let cs = &mut self.cores[c];
         cs.offchip.train_load(&ctx, &done.offchip, served);
         if done.offchip.valid && !frozen {
-            let issued =
-                done.offchip.decision == OffChipDecision::IssueNow || done.spec_issued;
+            let issued = done.offchip.decision == OffChipDecision::IssueNow || done.spec_issued;
             if issued {
                 cs.offchip_stats.record_outcome(served);
             }
@@ -668,9 +694,12 @@ impl System {
                 cs.l2_filter.on_useless(ev.paddr);
             }
         }
-        if self.cores[c].core.stats_frozen() {
-            return;
-        }
+        // No frozen-window gate here: prefetch marks are cleared at the
+        // warmup/measurement boundary, so every outcome that resolves —
+        // whether by eviction (possibly after this core froze, under a
+        // co-runner's cache pressure) or by the end-of-run residue sweep —
+        // belongs to a measurement-window prefetch. Gating on frozen made
+        // attribution depend on eviction timing.
         let stats = if ev.origin_l1 {
             &mut self.cores[c].l1_pf_stats
         } else {
@@ -804,8 +833,7 @@ impl System {
         for req in out.forwards {
             // Selective delay: the tagged load missed in L1D, so issue the
             // speculative DRAM request now.
-            if req.kind == ReqKind::Load
-                && req.offchip.decision == OffChipDecision::IssueOnL1dMiss
+            if req.kind == ReqKind::Load && req.offchip.decision == OffChipDecision::IssueOnL1dMiss
             {
                 if let Some(seq) = req.lq_seq {
                     self.cores[i].core.mark_spec_issued(seq);
@@ -1028,13 +1056,7 @@ mod tests {
             .collect();
         let cold: Vec<TraceRecord> = (0..400)
             .map(|i| {
-                TraceRecord::load(
-                    0x400,
-                    0x10_0000 + i * 4096,
-                    8,
-                    Reg(1),
-                    [Some(Reg(1)), None],
-                )
+                TraceRecord::load(0x400, 0x10_0000 + i * 4096, 8, Reg(1), [Some(Reg(1)), None])
             })
             .collect();
         let ipc_hot = tiny_system(VecTrace::new("hot", hot)).run(0, 400).ipc();
@@ -1065,7 +1087,11 @@ mod tests {
         let run = || {
             let mut sys = tiny_system(stream_trace(1000, 192));
             let r = sys.run(100, 800);
-            (r.total_cycles, r.dram.transactions(), r.cores[0].l1d.demand_misses)
+            (
+                r.total_cycles,
+                r.dram.transactions(),
+                r.cores[0].l1d.demand_misses,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1119,7 +1145,10 @@ mod tests {
         let recs: Vec<TraceRecord> = (0..200)
             .map(|i| TraceRecord::load(0x400, 0x9000 + (i % 8) * 64, 8, Reg(1), [None, None]))
             .collect();
-        let mut sys = System::new(cfg, vec![CoreSetup::new(Box::new(VecTrace::new("s", recs)))]);
+        let mut sys = System::new(
+            cfg,
+            vec![CoreSetup::new(Box::new(VecTrace::new("s", recs)))],
+        );
         let report = sys.run(0, 200);
         assert_eq!(report.victim.hits, 0);
     }
@@ -1129,8 +1158,7 @@ mod tests {
         for kind in crate::replacement::ReplKind::ALL {
             let mut cfg = SystemConfig::test_tiny(1);
             cfg.llc_repl = kind;
-            let mut sys =
-                System::new(cfg, vec![CoreSetup::new(Box::new(stream_trace(400, 64)))]);
+            let mut sys = System::new(cfg, vec![CoreSetup::new(Box::new(stream_trace(400, 64)))]);
             let report = sys.run(0, 400);
             assert_eq!(
                 report.cores[0].core.instructions,
@@ -1154,33 +1182,21 @@ mod tests {
                 valid: true,
             }
         }
-        fn train_load(
-            &mut self,
-            _ctx: &crate::hooks::LoadCtx,
-            _tag: &OffChipTag,
-            _served: Level,
-        ) {
-        }
+        fn train_load(&mut self, _ctx: &crate::hooks::LoadCtx, _tag: &OffChipTag, _served: Level) {}
         fn name(&self) -> &'static str {
             "fixed"
         }
     }
 
-    use crate::hooks::OffChipTag;
     use crate::hooks::OffChipDecision;
+    use crate::hooks::OffChipTag;
 
     #[test]
     fn issue_now_predictions_reach_dram_and_serve_demands() {
         // Cold dependent loads: every speculative request is correct.
         let recs: Vec<TraceRecord> = (0..300)
             .map(|i| {
-                TraceRecord::load(
-                    0x400,
-                    0x40_0000 + i * 4096,
-                    8,
-                    Reg(1),
-                    [Some(Reg(1)), None],
-                )
+                TraceRecord::load(0x400, 0x40_0000 + i * 4096, 8, Reg(1), [Some(Reg(1)), None])
             })
             .collect();
         let cfg = SystemConfig::test_tiny(1);
@@ -1246,13 +1262,7 @@ mod tests {
     fn delayed_predictions_issue_on_l1d_misses() {
         let recs: Vec<TraceRecord> = (0..300)
             .map(|i| {
-                TraceRecord::load(
-                    0x400,
-                    0x40_0000 + i * 4096,
-                    8,
-                    Reg(1),
-                    [Some(Reg(1)), None],
-                )
+                TraceRecord::load(0x400, 0x40_0000 + i * 4096, 8, Reg(1), [Some(Reg(1)), None])
             })
             .collect();
         let cfg = SystemConfig::test_tiny(1);

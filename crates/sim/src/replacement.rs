@@ -410,9 +410,7 @@ impl RandomRepl {
     /// Creates the policy with a fixed seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self {
-            state: seed | 1,
-        }
+        Self { state: seed | 1 }
     }
 }
 
@@ -529,7 +527,10 @@ mod tests {
                 distant += 1;
             }
         }
-        assert!(distant > 48, "BRRIP must mostly insert at distant RRPV: {distant}");
+        assert!(
+            distant > 48,
+            "BRRIP must mostly insert at distant RRPV: {distant}"
+        );
     }
 
     #[test]
@@ -564,7 +565,11 @@ mod tests {
         }
         assert_eq!(p.counter_for(dead_pc), 0);
         p.on_fill_ctx(0, 1, &ctx(dead_pc));
-        assert_eq!(p.rrpv[1], ShipLite::MAX, "dead signature must insert at MAX");
+        assert_eq!(
+            p.rrpv[1],
+            ShipLite::MAX,
+            "dead signature must insert at MAX"
+        );
     }
 
     #[test]

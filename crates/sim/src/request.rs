@@ -36,7 +36,10 @@ impl ReqKind {
     /// True for either prefetch kind.
     #[must_use]
     pub fn is_prefetch(self) -> bool {
-        matches!(self, ReqKind::PrefetchL1 { .. } | ReqKind::PrefetchL2 { .. })
+        matches!(
+            self,
+            ReqKind::PrefetchL1 { .. } | ReqKind::PrefetchL2 { .. }
+        )
     }
 
     /// Nearest level this request's fill should reach.
@@ -175,7 +178,14 @@ impl Request {
 
     /// A speculative DRAM read triggered by an off-chip predictor.
     #[must_use]
-    pub fn speculative(id: u64, core: CoreId, pc: u64, vaddr: u64, paddr: u64, born: Cycle) -> Self {
+    pub fn speculative(
+        id: u64,
+        core: CoreId,
+        pc: u64,
+        vaddr: u64,
+        paddr: u64,
+        born: Cycle,
+    ) -> Self {
         Self {
             id,
             core,
@@ -200,8 +210,14 @@ mod tests {
     #[test]
     fn fill_levels() {
         assert_eq!(ReqKind::Load.fill_level(), Level::L1d);
-        assert_eq!(ReqKind::PrefetchL1 { fill_l1: false }.fill_level(), Level::L2);
-        assert_eq!(ReqKind::PrefetchL1 { fill_l1: true }.fill_level(), Level::L1d);
+        assert_eq!(
+            ReqKind::PrefetchL1 { fill_l1: false }.fill_level(),
+            Level::L2
+        );
+        assert_eq!(
+            ReqKind::PrefetchL1 { fill_l1: true }.fill_level(),
+            Level::L1d
+        );
         assert_eq!(
             ReqKind::PrefetchL2 {
                 fill_llc_only: true

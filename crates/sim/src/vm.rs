@@ -83,7 +83,10 @@ impl Tlb {
     /// Panics if the set count is not a power of two.
     #[must_use]
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "TLB sets must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "TLB sets must be a power of two"
+        );
         Self {
             cfg,
             entries: vec![

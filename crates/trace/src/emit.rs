@@ -121,7 +121,13 @@ impl<'a> Emitter<'a> {
 
     /// Emits an 8-byte store.
     #[inline]
-    pub fn store(&mut self, site: u32, addr: u64, data: Option<Reg>, addr_reg: Option<Reg>) -> bool {
+    pub fn store(
+        &mut self,
+        site: u32,
+        addr: u64,
+        data: Option<Reg>,
+        addr_reg: Option<Reg>,
+    ) -> bool {
         self.store_sized(site, addr, 8, data, addr_reg)
     }
 

@@ -107,7 +107,10 @@ pub fn encode_trace(name: &str, looping: bool, records: &[TraceRecord]) -> Bytes
     buf.put_u16_le(if looping { FLAG_LOOPING } else { 0 });
     buf.put_u64_le(records.len() as u64);
     let name_bytes = name.as_bytes();
-    assert!(name_bytes.len() <= u16::MAX as usize, "workload name too long");
+    assert!(
+        name_bytes.len() <= u16::MAX as usize,
+        "workload name too long"
+    );
     buf.put_u16_le(name_bytes.len() as u16);
     buf.put_slice(name_bytes);
     for r in records {
@@ -144,8 +147,8 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<TraceFile, ReadTraceError> {
     }
     let mut name_bytes = vec![0u8; name_len];
     buf.copy_to_slice(&mut name_bytes);
-    let name = String::from_utf8(name_bytes)
-        .map_err(|_| ReadTraceError::Corrupt("name is not UTF-8"))?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|_| ReadTraceError::Corrupt("name is not UTF-8"))?;
     let expected = (count as usize)
         .checked_mul(TraceRecord::ENCODED_LEN)
         .ok_or(ReadTraceError::Corrupt("record count overflow"))?;
@@ -157,8 +160,7 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<TraceFile, ReadTraceError> {
     }
     let mut records = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let r = TraceRecord::decode(&mut buf)
-            .ok_or(ReadTraceError::Corrupt("invalid record"))?;
+        let r = TraceRecord::decode(&mut buf).ok_or(ReadTraceError::Corrupt("invalid record"))?;
         records.push(r);
     }
     Ok(TraceFile {

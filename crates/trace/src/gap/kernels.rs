@@ -204,15 +204,31 @@ fn queue_addr(i: u64) -> u64 {
 fn emit_bounds(e: &mut Emitter<'_>, site: u32, v: u32) {
     e.alu(site, Some(regs::IDX), [Some(regs::IDX), None]);
     e.load_sized(site, offsets_addr(v), 4, regs::BEG, [Some(regs::IDX), None]);
-    e.load_sized(site + 1, offsets_addr(v + 1), 4, regs::END, [Some(regs::IDX), None]);
-    e.alu(site + 1, Some(regs::END), [Some(regs::END), Some(regs::BEG)]);
+    e.load_sized(
+        site + 1,
+        offsets_addr(v + 1),
+        4,
+        regs::END,
+        [Some(regs::IDX), None],
+    );
+    e.alu(
+        site + 1,
+        Some(regs::END),
+        [Some(regs::END), Some(regs::BEG)],
+    );
 }
 
 /// Emits the edge-target load at CSR position `ei` (sequential stream),
 /// plus the surrounding index/address arithmetic the compiled kernels
 /// perform per edge (bounds math, shifts, accumulator updates).
 fn emit_target(e: &mut Emitter<'_>, site: u32, ei: u32) {
-    e.load_sized(site, targets_addr(ei), 4, regs::NBR, [Some(regs::BEG), None]);
+    e.load_sized(
+        site,
+        targets_addr(ei),
+        4,
+        regs::NBR,
+        [Some(regs::BEG), None],
+    );
     e.alu(site, Some(regs::ADDR), [Some(regs::NBR), None]);
     e.alu(site, Some(regs::ADDR), [Some(regs::ADDR), None]);
     e.alu(site, Some(regs::ACC), [Some(regs::ACC), None]);
@@ -263,7 +279,13 @@ fn bfs_push(g: &Graph, parent: &mut [u32], frontier: &[u32], e: &mut Emitter<'_>
             if unvisited {
                 parent[v as usize] = u;
                 e.store_sized(7, prop_a(v), 4, Some(regs::IDX), Some(regs::NBR));
-                e.store_sized(8, queue_addr(0x1_0000 + next.len() as u64), 4, Some(regs::NBR), None);
+                e.store_sized(
+                    8,
+                    queue_addr(0x1_0000 + next.len() as u64),
+                    4,
+                    Some(regs::NBR),
+                    None,
+                );
                 next.push(v);
             }
             e.loop_branch(9, ei + 1 < g.edge_range(u).end, 3);
@@ -336,7 +358,11 @@ pub fn pagerank(g: &Graph, iters: u32, e: &mut Emitter<'_>) -> Vec<f64> {
             e.fp(1, Some(regs::VAL2), [Some(regs::VAL), None]);
             e.store_sized(2, prop_b(u), 4, Some(regs::VAL2), None);
             let d = g.degree(u);
-            contrib[u as usize] = if d > 0 { rank[u as usize] / f64::from(d) } else { 0.0 };
+            contrib[u as usize] = if d > 0 {
+                rank[u as usize] / f64::from(d)
+            } else {
+                0.0
+            };
             if !e.live() {
                 break;
             }
@@ -416,7 +442,13 @@ pub fn connected_components(g: &Graph, e: &mut Emitter<'_>) -> Vec<u32> {
             e.load_sized(10, prop_a(v), 4, regs::PTR, [None, None]);
             while comp[v as usize] != comp[comp[v as usize] as usize] {
                 // comp[comp[v]]: the classic dependent-load chain.
-                e.load_sized(11, prop_a(comp[v as usize]), 4, regs::PTR, [Some(regs::PTR), None]);
+                e.load_sized(
+                    11,
+                    prop_a(comp[v as usize]),
+                    4,
+                    regs::PTR,
+                    [Some(regs::PTR), None],
+                );
                 comp[v as usize] = comp[comp[v as usize] as usize];
                 e.store_sized(12, prop_a(v), 4, Some(regs::PTR), None);
                 if !e.live() {
@@ -451,7 +483,13 @@ pub fn betweenness(g: &Graph, sources: &[u32], e: &mut Emitter<'_>) -> Vec<f64> 
                 return centrality;
             }
             stack.push(u);
-            e.load_sized(0, queue_addr(stack.len() as u64), 4, regs::IDX, [None, None]);
+            e.load_sized(
+                0,
+                queue_addr(stack.len() as u64),
+                4,
+                regs::IDX,
+                [None, None],
+            );
             emit_bounds(e, 1, u);
             for ei in g.edge_range(u) {
                 let v = g.target(ei);
@@ -461,9 +499,20 @@ pub fn betweenness(g: &Graph, sources: &[u32], e: &mut Emitter<'_>) -> Vec<f64> 
                     depth[v as usize] = depth[u as usize] + 1;
                     e.store_sized(5, prop_c(v), 4, Some(regs::VAL), None);
                     queue.push_back(v);
-                    e.store_sized(6, queue_addr(0x2_0000 + u64::from(v)), 4, Some(regs::NBR), None);
+                    e.store_sized(
+                        6,
+                        queue_addr(0x2_0000 + u64::from(v)),
+                        4,
+                        Some(regs::NBR),
+                        None,
+                    );
                 }
-                e.branch(7, depth[v as usize] == depth[u as usize] + 1, 8, Some(regs::FLAG));
+                e.branch(
+                    7,
+                    depth[v as usize] == depth[u as usize] + 1,
+                    8,
+                    Some(regs::FLAG),
+                );
                 if depth[v as usize] == depth[u as usize] + 1 {
                     sigma[v as usize] += sigma[u as usize];
                     e.load_sized(8, prop_b(v), 4, regs::VAL2, [Some(regs::NBR), None]);
@@ -482,7 +531,12 @@ pub fn betweenness(g: &Graph, sources: &[u32], e: &mut Emitter<'_>) -> Vec<f64> 
                 let v = g.target(ei);
                 emit_target(e, 13, ei);
                 e.load_sized(14, prop_c(v), 4, regs::VAL, [Some(regs::NBR), None]);
-                e.branch(15, depth[v as usize] + 1 == depth[w as usize], 19, Some(regs::VAL));
+                e.branch(
+                    15,
+                    depth[v as usize] + 1 == depth[w as usize],
+                    19,
+                    Some(regs::VAL),
+                );
                 if depth[v as usize] + 1 == depth[w as usize] {
                     e.load_sized(16, prop_b(v), 4, regs::VAL2, [Some(regs::NBR), None]);
                     let share = sigma[v as usize] as f64 / sigma[w as usize] as f64
@@ -571,7 +625,13 @@ pub fn sssp(g: &Graph, root: u32, delta: u32, e: &mut Emitter<'_>) -> Vec<u32> {
                 break;
             }
             // Bucket pop: streaming load.
-            e.load_sized(0, queue_addr(u64::from(u) & 0xffff), 4, regs::IDX, [None, None]);
+            e.load_sized(
+                0,
+                queue_addr(u64::from(u) & 0xffff),
+                4,
+                regs::IDX,
+                [None, None],
+            );
             e.load_sized(1, prop_a(u), 4, regs::VAL, [Some(regs::IDX), None]);
             let du = dist[u as usize];
             // Stale-entry check.
@@ -597,7 +657,13 @@ pub fn sssp(g: &Graph, root: u32, delta: u32, e: &mut Emitter<'_>) -> Vec<u32> {
                         buckets.resize(nb + 1, Vec::new());
                     }
                     buckets[nb].push(v);
-                    e.store_sized(10, queue_addr(0x3_0000 + u64::from(v)), 4, Some(regs::NBR), None);
+                    e.store_sized(
+                        10,
+                        queue_addr(0x3_0000 + u64::from(v)),
+                        4,
+                        Some(regs::NBR),
+                        None,
+                    );
                 }
                 e.loop_branch(11, ei + 1 < g.edge_range(u).end, 5);
             }
@@ -775,7 +841,10 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
         let mut sink = RecorderSink::new(1_000_000);
         let c = betweenness(&g, &[0, 1, 2], &mut big_emitter(&mut sink));
-        assert!(c[1] > c[0] && c[1] > c[2], "middle vertex must dominate: {c:?}");
+        assert!(
+            c[1] > c[0] && c[1] > c[2],
+            "middle vertex must dominate: {c:?}"
+        );
     }
 
     #[test]

@@ -292,7 +292,13 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let records = [
-            TraceRecord::load(0xdead_beef, 0x7fff_1234, 8, Reg(63), [Some(Reg(0)), Some(Reg(31))]),
+            TraceRecord::load(
+                0xdead_beef,
+                0x7fff_1234,
+                8,
+                Reg(63),
+                [Some(Reg(0)), Some(Reg(31))],
+            ),
             TraceRecord::store(0x1, 0x2, 1, None, None),
             TraceRecord::alu(0x42, Some(Reg(7)), [Some(Reg(8)), None]),
             TraceRecord::fp(0x44, Some(Reg(9)), [Some(Reg(10)), Some(Reg(11))]),

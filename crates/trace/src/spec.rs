@@ -159,12 +159,16 @@ impl Workload for SpecWorkload {
         let mut rng = StdRng::seed_from_u64(self.seed ^ pass.wrapping_mul(0x2545_f491_4f6c_dd1d));
         let mut e = Emitter::new(sink, self.code_base());
         match self.kind {
-            PatternKind::PointerChase => pointer_chase(&mut e, self.elems, self.alu_per_mem, &mut rng),
+            PatternKind::PointerChase => {
+                pointer_chase(&mut e, self.elems, self.alu_per_mem, &mut rng)
+            }
             PatternKind::Stream => stream(&mut e, self.elems, self.alu_per_mem),
             PatternKind::Stencil => stencil(&mut e, self.elems, self.alu_per_mem),
             PatternKind::SpMV => spmv(&mut e, self.elems, self.alu_per_mem, &mut rng),
             PatternKind::Strided => strided(&mut e, self.elems, self.alu_per_mem),
-            PatternKind::RandomAccess => random_access(&mut e, self.elems, self.alu_per_mem, &mut rng),
+            PatternKind::RandomAccess => {
+                random_access(&mut e, self.elems, self.alu_per_mem, &mut rng)
+            }
             PatternKind::BranchyMixed => branchy(&mut e, self.elems, self.alu_per_mem, &mut rng),
         }
     }
@@ -173,9 +177,14 @@ impl Workload for SpecWorkload {
 /// Multiplicative-hash permutation step used to lay out pointer-chase rings:
 /// successive elements land on unrelated cache lines, defeating stride
 /// prefetchers exactly like mcf's arc lists do.
+///
+/// The multiplier must be coprime to every catalog `elems` (prime factors
+/// 2, 3 and 5) so the map stays a permutation; the golden-ratio constant
+/// used elsewhere is divisible by 5 and would shrink 5-divisible working
+/// sets to a fifth of their size.
 #[inline]
 fn scatter(i: u64, elems: u64) -> u64 {
-    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % elems
+    i.wrapping_mul(0xbf58_476d_1ce4_e5b9) % elems
 }
 
 fn pointer_chase(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
@@ -192,7 +201,11 @@ fn pointer_chase(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
             e.store(2, addr + 8, Some(regs::VAL), Some(regs::PTR));
         }
         e.loop_branch(3, step + 1 < elems, 0);
-        cursor = cursor.wrapping_add(1 + (cursor >> 3)) % elems;
+        // Full-period LCG walk (Hull–Dobell holds for every catalog `elems`,
+        // whose prime factors are 2, 3, 5): the ring visits the whole
+        // working set before repeating. scatter() above de-correlates the
+        // resulting address deltas so stride prefetchers stay defeated.
+        cursor = (cursor.wrapping_mul(61).wrapping_add(7)) % elems;
     }
 }
 
@@ -202,7 +215,12 @@ fn stream(e: &mut Emitter<'_>, elems: u64, alu: u32) {
         if !e.load(0, layout::ARRAY_A + off, regs::VAL, [Some(regs::IDX), None]) {
             return;
         }
-        e.load(1, layout::ARRAY_B + off, regs::VAL2, [Some(regs::IDX), None]);
+        e.load(
+            1,
+            layout::ARRAY_B + off,
+            regs::VAL2,
+            [Some(regs::IDX), None],
+        );
         e.fp(2, Some(regs::ACC), [Some(regs::VAL), Some(regs::VAL2)]);
         e.alu_burst(3, alu);
         e.store(4, layout::ARRAY_C + off, Some(regs::ACC), Some(regs::IDX));
@@ -228,7 +246,12 @@ fn stencil(e: &mut Emitter<'_>, elems: u64, alu: u32) {
             e.load(4, at(y + 1, x), regs::ACC, [Some(regs::IDX), None]);
             e.fp(5, Some(regs::ACC), [Some(regs::VAL), Some(regs::VAL2)]);
             e.alu_burst(6, alu);
-            e.store(7, layout::ARRAY_B + (y * side + x) * 8, Some(regs::ACC), Some(regs::IDX));
+            e.store(
+                7,
+                layout::ARRAY_B + (y * side + x) * 8,
+                Some(regs::ACC),
+                Some(regs::IDX),
+            );
             e.loop_branch(8, x + 2 < side, 0);
         }
     }
@@ -245,10 +268,26 @@ fn spmv(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
         }
         for _ in 0..nnz_per_row {
             // Column index: sequential; x[col]: random gather, dependent.
-            e.load_sized(1, layout::INDEX + 0x1000_0000 + nz * 4, 4, regs::NBR, [Some(regs::BEG), None]);
+            e.load_sized(
+                1,
+                layout::INDEX + 0x1000_0000 + nz * 4,
+                4,
+                regs::NBR,
+                [Some(regs::BEG), None],
+            );
             let col = rng.gen_range(0..elems);
-            e.load(2, layout::ARRAY_A + col * 8, regs::VAL, [Some(regs::NBR), None]);
-            e.load(3, layout::ARRAY_B + nz * 8, regs::VAL2, [Some(regs::BEG), None]);
+            e.load(
+                2,
+                layout::ARRAY_A + col * 8,
+                regs::VAL,
+                [Some(regs::NBR), None],
+            );
+            e.load(
+                3,
+                layout::ARRAY_B + nz * 8,
+                regs::VAL2,
+                [Some(regs::BEG), None],
+            );
             e.fp(4, Some(regs::ACC), [Some(regs::VAL), Some(regs::VAL2)]);
             e.alu_burst(5, alu);
             nz += 1;
@@ -262,7 +301,12 @@ fn strided(e: &mut Emitter<'_>, elems: u64, alu: u32) {
     let stride = 24u64; // 3 cache lines: defeats next-line, catchable by stride
     let mut i = 0u64;
     while i < elems {
-        if !e.load(0, layout::ARRAY_A + i * 8, regs::VAL, [Some(regs::IDX), None]) {
+        if !e.load(
+            0,
+            layout::ARRAY_A + i * 8,
+            regs::VAL,
+            [Some(regs::IDX), None],
+        ) {
             return;
         }
         e.fp(1, Some(regs::ACC), [Some(regs::VAL), Some(regs::ACC)]);
@@ -278,7 +322,12 @@ fn random_access(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
         // The index computation itself (an LCG) is a short ALU chain.
         e.alu(0, Some(regs::IDX), [Some(regs::IDX), None]);
         let idx = rng.gen_range(0..elems);
-        if !e.load(1, layout::TABLE + idx * 8, regs::VAL, [Some(regs::IDX), None]) {
+        if !e.load(
+            1,
+            layout::TABLE + idx * 8,
+            regs::VAL,
+            [Some(regs::IDX), None],
+        ) {
             return;
         }
         e.alu_burst(2, alu);
@@ -293,7 +342,12 @@ fn branchy(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
     let iters = elems;
     for k in 0..iters {
         let idx = rng.gen_range(0..elems);
-        if !e.load(0, layout::TABLE + idx * 8, regs::VAL, [Some(regs::IDX), None]) {
+        if !e.load(
+            0,
+            layout::TABLE + idx * 8,
+            regs::VAL,
+            [Some(regs::IDX), None],
+        ) {
             return;
         }
         // Data-dependent, poorly-predictable branch (gcc-style dispatch).
@@ -301,7 +355,12 @@ fn branchy(e: &mut Emitter<'_>, elems: u64, alu: u32, rng: &mut StdRng) {
         e.branch(1, t, 5, Some(regs::VAL));
         if t {
             e.alu_burst(2, alu + 1);
-            e.load(3, layout::ARRAY_A + (idx % (elems / 2).max(1)) * 8, regs::VAL2, [Some(regs::VAL), None]);
+            e.load(
+                3,
+                layout::ARRAY_A + (idx % (elems / 2).max(1)) * 8,
+                regs::VAL2,
+                [Some(regs::VAL), None],
+            );
         } else {
             e.alu_burst(4, alu);
         }
@@ -319,14 +378,50 @@ pub fn spec_workloads(scale: SpecScale) -> Vec<SpecWorkload> {
     let defs: [(&str, PatternKind, u64, u32, u64); 24] = [
         ("spec.mcf_06", PatternKind::PointerChase, 96 * k * f, 6, 11),
         ("spec.mcf_17", PatternKind::PointerChase, 128 * k * f, 7, 12),
-        ("spec.omnetpp_06", PatternKind::PointerChase, 48 * k * f, 7, 13),
-        ("spec.omnetpp_17", PatternKind::PointerChase, 64 * k * f, 7, 14),
-        ("spec.xalancbmk_06", PatternKind::PointerChase, 32 * k * f, 8, 15),
-        ("spec.xalancbmk_17", PatternKind::PointerChase, 40 * k * f, 8, 16),
-        ("spec.astar_06", PatternKind::PointerChase, 24 * k * f, 7, 17),
+        (
+            "spec.omnetpp_06",
+            PatternKind::PointerChase,
+            48 * k * f,
+            7,
+            13,
+        ),
+        (
+            "spec.omnetpp_17",
+            PatternKind::PointerChase,
+            64 * k * f,
+            7,
+            14,
+        ),
+        (
+            "spec.xalancbmk_06",
+            PatternKind::PointerChase,
+            32 * k * f,
+            8,
+            15,
+        ),
+        (
+            "spec.xalancbmk_17",
+            PatternKind::PointerChase,
+            40 * k * f,
+            8,
+            16,
+        ),
+        (
+            "spec.astar_06",
+            PatternKind::PointerChase,
+            24 * k * f,
+            7,
+            17,
+        ),
         ("spec.lbm_06", PatternKind::Stream, 160 * k * f, 6, 18),
         ("spec.lbm_17", PatternKind::Stream, 192 * k * f, 6, 19),
-        ("spec.libquantum_06", PatternKind::Stream, 128 * k * f, 6, 20),
+        (
+            "spec.libquantum_06",
+            PatternKind::Stream,
+            128 * k * f,
+            6,
+            20,
+        ),
         ("spec.bwaves_06", PatternKind::Stream, 96 * k * f, 7, 21),
         ("spec.bwaves_17", PatternKind::Stream, 112 * k * f, 7, 22),
         ("spec.leslie3d_06", PatternKind::Stream, 80 * k * f, 7, 23),
@@ -339,7 +434,13 @@ pub fn spec_workloads(scale: SpecScale) -> Vec<SpecWorkload> {
         ("spec.wrf_17", PatternKind::Stencil, 56 * k * f, 8, 30),
         ("spec.roms_17", PatternKind::Stencil, 72 * k * f, 7, 31),
         ("spec.fotonik3d_17", PatternKind::Stencil, 88 * k * f, 6, 32),
-        ("spec.sphinx3_06", PatternKind::RandomAccess, 48 * k * f, 7, 33),
+        (
+            "spec.sphinx3_06",
+            PatternKind::RandomAccess,
+            48 * k * f,
+            7,
+            33,
+        ),
         ("spec.xz_17", PatternKind::BranchyMixed, 64 * k * f, 7, 34),
     ];
     defs.into_iter()
@@ -424,8 +525,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_pass() {
-        let a = capture(&SpecWorkload::new("t", PatternKind::BranchyMixed, 8192, 1, 7), 3_000);
-        let b = capture(&SpecWorkload::new("t", PatternKind::BranchyMixed, 8192, 1, 7), 3_000);
+        let a = capture(
+            &SpecWorkload::new("t", PatternKind::BranchyMixed, 8192, 1, 7),
+            3_000,
+        );
+        let b = capture(
+            &SpecWorkload::new("t", PatternKind::BranchyMixed, 8192, 1, 7),
+            3_000,
+        );
         assert_eq!(a, b);
     }
 

@@ -222,9 +222,7 @@ mod tests {
         // load r2 <- [r2] repeatedly: every load after the first depends on
         // a loaded value.
         let recs: Vec<TraceRecord> = (0..10)
-            .map(|i| {
-                TraceRecord::load(0x400, 0x1000 + i * 64, 8, Reg(2), [Some(Reg(2)), None])
-            })
+            .map(|i| TraceRecord::load(0x400, 0x1000 + i * 64, 8, Reg(2), [Some(Reg(2)), None]))
             .collect();
         let p = profile(&recs);
         assert_eq!(p.loads, 10);
@@ -262,9 +260,7 @@ mod tests {
     fn random_accesses_have_low_stride_regularity() {
         // Quadratic residues scatter the addresses; no repeated stride.
         let recs: Vec<TraceRecord> = (0..100u64)
-            .map(|i| {
-                TraceRecord::load(0x400, (i * i * 37) % 100_000 * 64, 8, Reg(1), [None, None])
-            })
+            .map(|i| TraceRecord::load(0x400, (i * i * 37) % 100_000 * 64, 8, Reg(1), [None, None]))
             .collect();
         let p = profile(&recs);
         assert!(

@@ -65,7 +65,10 @@ fn run(workload: &str, custom: bool) -> (f64, u64) {
 }
 
 fn main() {
-    println!("{:<14} {:>12} {:>12} {:>12} {:>12}", "workload", "ipcp IPC", "sandwich IPC", "ipcp DRAM", "sandwich DRAM");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "ipcp IPC", "sandwich IPC", "ipcp DRAM", "sandwich DRAM"
+    );
     for workload in ["spec.milc_06", "bfs.web", "pr.kron"] {
         let (ipc_a, dram_a) = run(workload, false);
         let (ipc_b, dram_b) = run(workload, true);

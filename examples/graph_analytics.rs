@@ -37,9 +37,8 @@ fn main() {
             Arc::new(GapWorkload::with_graph(kernel, kind, Arc::clone(&graph)));
         let base = h.run_single(&w, Scheme::Baseline, L1Pf::Ipcp);
         let tlp = h.run_single(&w, Scheme::Tlp, L1Pf::Ipcp);
-        let delta = (tlp.dram_transactions() as f64 / base.dram_transactions().max(1) as f64
-            - 1.0)
-            * 100.0;
+        let delta =
+            (tlp.dram_transactions() as f64 / base.dram_transactions().max(1) as f64 - 1.0) * 100.0;
         println!(
             "{:<14} {:>10.3} {:>10.3} {:>12} {:>12} {:>+10.1}",
             w.name(),

@@ -68,7 +68,10 @@ fn main() {
         let ipc = simulate(slice, cfg.interval as u64);
         weighted_ipc += p.weight * ipc;
         simulated += cfg.interval as u64;
-        println!("  interval {:>3}: IPC {ipc:.3} (weight {:.3})", p.interval, p.weight);
+        println!(
+            "  interval {:>3}: IPC {ipc:.3} (weight {:.3})",
+            p.interval, p.weight
+        );
     }
 
     let err = (weighted_ipc / full_ipc - 1.0) * 100.0;

@@ -27,7 +27,10 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("workload {name}: {} instructions after {} warmup\n", rc.instructions, rc.warmup);
+    println!(
+        "workload {name}: {} instructions after {} warmup\n",
+        rc.instructions, rc.warmup
+    );
     for scheme in [Scheme::Baseline, Scheme::Hermes, Scheme::Tlp] {
         let r = h.run_single(&w, scheme, L1Pf::Ipcp);
         let c = &r.cores[0];

@@ -19,7 +19,10 @@ fn sweep(
     base_txn: f64,
 ) {
     println!("-- {knob} sweep");
-    println!("{:>8} {:>10} {:>10} {:>12} {:>12}", knob, "speedup%", "ΔDRAM%", "spec-issued", "pf-filtered");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12}",
+        knob, "speedup%", "ΔDRAM%", "spec-issued", "pf-filtered"
+    );
     for &t in points {
         let r = h.run_single(w, Scheme::TlpCustom(make(t)), L1Pf::Ipcp);
         let c = &r.cores[0];
@@ -47,22 +50,44 @@ fn main() {
 
     let base = h.run_single(&w, Scheme::Baseline, L1Pf::Ipcp);
     let (base_ipc, base_txn) = (base.ipc(), base.dram_transactions() as f64);
-    println!(
-        "workload {name} (paper operating point: τ_high=14 τ_low=2 τ_pref=6)\n"
-    );
+    println!("workload {name} (paper operating point: τ_high=14 τ_low=2 τ_pref=6)\n");
 
-    sweep(&h, &w, "τ_high", &[6, 10, 14, 18, 24], |t| TlpParams {
-        tau_high: t,
-        ..TlpParams::paper()
-    }, base_ipc, base_txn);
-    sweep(&h, &w, "τ_low", &[-2, 0, 2, 6, 10], |t| TlpParams {
-        tau_low: t,
-        ..TlpParams::paper()
-    }, base_ipc, base_txn);
-    sweep(&h, &w, "τ_pref", &[0, 3, 6, 12, 24], |t| TlpParams {
-        tau_pref: t,
-        ..TlpParams::paper()
-    }, base_ipc, base_txn);
+    sweep(
+        &h,
+        &w,
+        "τ_high",
+        &[6, 10, 14, 18, 24],
+        |t| TlpParams {
+            tau_high: t,
+            ..TlpParams::paper()
+        },
+        base_ipc,
+        base_txn,
+    );
+    sweep(
+        &h,
+        &w,
+        "τ_low",
+        &[-2, 0, 2, 6, 10],
+        |t| TlpParams {
+            tau_low: t,
+            ..TlpParams::paper()
+        },
+        base_ipc,
+        base_txn,
+    );
+    sweep(
+        &h,
+        &w,
+        "τ_pref",
+        &[0, 3, 6, 12, 24],
+        |t| TlpParams {
+            tau_pref: t,
+            ..TlpParams::paper()
+        },
+        base_ipc,
+        base_txn,
+    );
 
     println!(
         "Reading the curves: raising τ_high trades latency hiding for DRAM\n\

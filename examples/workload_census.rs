@@ -13,10 +13,7 @@ use tlp::trace::{capture, emit::Suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let budget: usize = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let budget: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(50_000);
     let scale = Scale::Quick;
 
     println!(

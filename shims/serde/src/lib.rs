@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives from the
+//! sibling `serde_derive` shim. Types deriving `Serialize`/`Deserialize`
+//! compile unchanged; actual serialization is not provided (nothing in the
+//! workspace performs it). See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Deserialize<'de> {}

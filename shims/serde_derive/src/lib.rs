@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the `Serialize`/`Deserialize` derives
+//! are accepted (including `#[serde(...)]` helper attributes) but expand to
+//! nothing — the workspace only derives the traits, it never serializes.
+//! See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

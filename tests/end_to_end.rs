@@ -22,7 +22,11 @@ fn baseline_runs_every_suite() {
             "{name} retired {retired}, expected ~{}",
             h.rc.instructions
         );
-        assert!(r.ipc() > 0.05 && r.ipc() < 4.0, "{name} IPC {} implausible", r.ipc());
+        assert!(
+            r.ipc() > 0.05 && r.ipc() < 4.0,
+            "{name} IPC {} implausible",
+            r.ipc()
+        );
         assert!(r.cores[0].l1d.demand_accesses() > 0);
     }
 }
@@ -34,7 +38,10 @@ fn every_scheme_completes_on_a_graph_workload() {
     let base = h.run_single(&w, Scheme::Baseline, L1Pf::Ipcp);
     for scheme in [Scheme::Ppf, Scheme::Hermes, Scheme::HermesPpf, Scheme::Tlp] {
         let r = h.run_single(&w, scheme, L1Pf::Ipcp);
-        assert_eq!(r.cores[0].core.instructions, base.cores[0].core.instructions);
+        assert_eq!(
+            r.cores[0].core.instructions,
+            base.cores[0].core.instructions
+        );
         let ratio = r.ipc() / base.ipc();
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -70,7 +77,10 @@ fn hermes_issues_speculative_reads_tlp_delays_some() {
     // Hermes must actually exercise the speculative path.
     let hermes_off = &hermes.cores[0].offchip;
     assert!(hermes_off.issued_now > 0, "Hermes never predicted off-chip");
-    assert_eq!(hermes_off.tagged_delayed, 0, "Hermes has no delay mechanism");
+    assert_eq!(
+        hermes_off.tagged_delayed, 0,
+        "Hermes has no delay mechanism"
+    );
     // TLP's FLP uses the middle band.
     let tlp_off = &tlp.cores[0].offchip;
     assert!(

@@ -14,8 +14,7 @@ fn four_core_mix_runs_all_cores_to_completion() {
     for (i, c) in r.cores.iter().enumerate() {
         // 4-wide retirement may overshoot the window by up to 3.
         assert!(
-            c.core.instructions >= h.rc.instructions
-                && c.core.instructions < h.rc.instructions + 4,
+            c.core.instructions >= h.rc.instructions && c.core.instructions < h.rc.instructions + 4,
             "core {i} retired {} instructions",
             c.core.instructions
         );
@@ -76,9 +75,8 @@ fn bandwidth_scaling_changes_performance() {
         .expect("gap mix");
     let slow = h.run_mix(&m.workloads, Scheme::Baseline, L1Pf::Ipcp, Some(1.6));
     let fast = h.run_mix(&m.workloads, Scheme::Baseline, L1Pf::Ipcp, Some(25.6));
-    let ipc = |r: &tlp::sim::SimReport| -> f64 {
-        r.cores.iter().map(|c| c.core.ipc()).sum::<f64>()
-    };
+    let ipc =
+        |r: &tlp::sim::SimReport| -> f64 { r.cores.iter().map(|c| c.core.ipc()).sum::<f64>() };
     assert!(
         ipc(&fast) > ipc(&slow),
         "16x more bandwidth must help a memory-bound mix"

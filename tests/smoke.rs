@@ -1,0 +1,32 @@
+//! Fast smoke test: the harness scheme comparison the paper is built
+//! around — baseline vs. Hermes vs. PPF vs. TLP — must run end to end on a
+//! tiny workload and produce sane IPC for every scheme.
+
+use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
+use tlp::trace::catalog::{self, Scale};
+
+#[test]
+fn scheme_comparison_produces_finite_positive_ipc() {
+    let mut rc = RunConfig::test();
+    // Keep this the fastest harness test in the tree: one short window.
+    rc.warmup = 2_000;
+    rc.instructions = 10_000;
+    let h = Harness::new(rc);
+    let w = catalog::workload("bfs.kron", Scale::Tiny).expect("catalog name");
+    for scheme in [Scheme::Baseline, Scheme::Hermes, Scheme::Ppf, Scheme::Tlp] {
+        let r = h.run_single(&w, scheme, L1Pf::Ipcp);
+        let ipc = r.ipc();
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "{scheme:?} produced IPC {ipc}"
+        );
+        assert!(
+            ipc < 4.0,
+            "{scheme:?} IPC {ipc} exceeds the 4-wide pipeline bound"
+        );
+        assert_eq!(
+            r.cores[0].workload, "bfs.kron",
+            "{scheme:?} report lost its workload attribution"
+        );
+    }
+}
