@@ -1,0 +1,283 @@
+//! Dedicated unit tests for the baselines crate, exercising each model
+//! through its public hook-trait surface: Hermes' τ_act activation, PPF's
+//! prefetch/reject recording-table training, and LP's metadata-cache hit
+//! path.
+
+use tlp_baselines::{Hermes, HermesConfig, Lp, LpConfig, Ppf, PpfConfig};
+use tlp_sim::hooks::{
+    L2Access, L2PrefetchCandidate, L2PrefetchFilter, LoadCtx, OffChipDecision, OffChipPredictor,
+};
+use tlp_sim::types::Level;
+
+fn load(pc: u64, vaddr: u64) -> LoadCtx {
+    LoadCtx {
+        core: 0,
+        pc,
+        vaddr,
+        cycle: 0,
+    }
+}
+
+mod hermes {
+    use super::*;
+
+    /// Trains one PC toward the given outcome.
+    fn train(h: &mut Hermes, pc: u64, offchip: bool, n: u64) {
+        for i in 0..n {
+            let c = load(pc, 0x10_0000 + i * 4096);
+            let tag = h.predict_load(&c);
+            h.train_load(&c, &tag, if offchip { Level::Dram } else { Level::L1d });
+        }
+    }
+
+    #[test]
+    fn cold_predictor_stays_below_tau_act() {
+        let mut h = Hermes::new(HermesConfig::paper());
+        let tag = h.predict_load(&load(0x400, 0x1000));
+        assert_eq!(tag.decision, OffChipDecision::NoIssue);
+        assert!(tag.confidence < h.config().tau_act);
+        assert!(tag.valid);
+    }
+
+    #[test]
+    fn activation_fires_exactly_at_tau_act() {
+        let mut h = Hermes::new(HermesConfig::paper());
+        train(&mut h, 0x400, true, 300);
+        // Every decision is consistent with the confidence/τ_act contract.
+        for i in 0..100u64 {
+            let tag = h.predict_load(&load(0x400, 0x90_0000 + i * 4096));
+            let expect = if tag.confidence >= h.config().tau_act {
+                OffChipDecision::IssueNow
+            } else {
+                OffChipDecision::NoIssue
+            };
+            assert_eq!(tag.decision, expect, "sum {}", tag.confidence);
+        }
+    }
+
+    #[test]
+    fn hermes_never_uses_the_delayed_path() {
+        let mut h = Hermes::new(HermesConfig::paper());
+        train(&mut h, 0x500, true, 200);
+        for i in 0..200u64 {
+            let c = load(0x500, 0x30_0000 + i * 4096);
+            let tag = h.predict_load(&c);
+            assert_ne!(
+                tag.decision,
+                OffChipDecision::IssueOnL1dMiss,
+                "Hermes has no selective delay"
+            );
+            // Keep training with mixed outcomes to scan the sum range.
+            h.train_load(&c, &tag, if i % 2 == 0 { Level::Dram } else { Level::L2 });
+        }
+    }
+
+    #[test]
+    fn onchip_training_deactivates() {
+        let mut h = Hermes::new(HermesConfig::paper());
+        train(&mut h, 0x600, true, 300);
+        assert_eq!(
+            h.predict_load(&load(0x600, 0xa0_0000)).decision,
+            OffChipDecision::IssueNow
+        );
+        train(&mut h, 0x600, false, 600);
+        assert_eq!(
+            h.predict_load(&load(0x600, 0xb0_0000)).decision,
+            OffChipDecision::NoIssue,
+            "sustained on-chip outcomes must pull the PC back under τ_act"
+        );
+    }
+
+    #[test]
+    fn extra_storage_config_quadruples_tables() {
+        let paper = HermesConfig::paper();
+        let big = HermesConfig::with_extra_storage();
+        assert_eq!(big.tau_act, paper.tau_act);
+        for (b, p) in big
+            .perceptron
+            .table_sizes
+            .iter()
+            .zip(&paper.perceptron.table_sizes)
+        {
+            assert_eq!(*b, 4 * p);
+        }
+    }
+}
+
+mod ppf {
+    use super::*;
+
+    fn trigger(pc: u64, paddr: u64) -> L2Access {
+        L2Access {
+            core: 0,
+            pc,
+            paddr,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn cand(paddr: u64, sig: u32, conf: u32, depth: u8) -> L2PrefetchCandidate {
+        L2PrefetchCandidate {
+            paddr,
+            fill_llc_only: false,
+            signature: sig,
+            confidence: conf,
+            depth,
+        }
+    }
+
+    #[test]
+    fn prefetch_table_entry_trains_once_then_is_consumed() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x400, 0x1000);
+        let c = cand(0x5_0000, 0x7, 80, 2);
+        assert!(ppf.filter(&t, &c));
+        // First outcome consumes the recorded entry...
+        ppf.on_useless(c.paddr);
+        let drained_once = ppf.filter(&t, &cand(0x6_0000, 0x7, 80, 2));
+        // ...so hammering the same line again must not train further:
+        // 300 ghost outcomes would otherwise flip the profile to reject.
+        for _ in 0..300 {
+            ppf.on_useless(c.paddr);
+        }
+        assert_eq!(
+            ppf.filter(&t, &cand(0x7_0000, 0x7, 80, 2)),
+            drained_once,
+            "outcomes without a live prefetch-table entry must be no-ops"
+        );
+    }
+
+    #[test]
+    fn useless_streak_flips_to_reject_and_reject_table_recovers() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x900, 0x1000);
+        // Phase 1: the profile's prefetches are useless -> learn to reject.
+        for i in 0..300u64 {
+            let c = cand(0x10_0000 + i * 64, 0x2a, 15, 5);
+            if ppf.filter(&t, &c) {
+                ppf.on_useless(c.paddr);
+            }
+        }
+        assert!(
+            !ppf.filter(&t, &cand(0x80_0000, 0x2a, 15, 5)),
+            "useless streak must train toward rejection"
+        );
+        // Phase 2: rejected lines keep missing as demands -> the reject
+        // table trains back toward acceptance.
+        let mut recovered = false;
+        for i in 0..500u64 {
+            let c = cand(0x90_0000 + i * 64, 0x2a, 15, 5);
+            if ppf.filter(&t, &c) {
+                recovered = true;
+                break;
+            }
+            ppf.on_demand_miss(c.paddr);
+        }
+        assert!(recovered, "reject-table hits must recover acceptance");
+    }
+
+    #[test]
+    fn useful_and_useless_outcomes_pull_in_opposite_directions() {
+        let mut good = Ppf::new(PpfConfig::paper());
+        let mut bad = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x700, 0x1000);
+        for i in 0..200u64 {
+            let c = cand(0x20_0000 + i * 64, 0x13, 60, 3);
+            if good.filter(&t, &c) {
+                good.on_useful(c.paddr);
+            }
+            if bad.filter(&t, &c) {
+                bad.on_useless(c.paddr);
+            }
+        }
+        let probe = cand(0xc0_0000, 0x13, 60, 3);
+        assert!(good.filter(&t, &probe), "useful history keeps acceptance");
+        assert!(!bad.filter(&t, &probe), "useless history flips to reject");
+    }
+
+    #[test]
+    fn demand_miss_without_rejection_is_inert() {
+        let mut ppf = Ppf::new(PpfConfig::paper());
+        let t = trigger(0x800, 0x1000);
+        // Never-rejected lines: on_demand_miss must find nothing to train.
+        for i in 0..200u64 {
+            ppf.on_demand_miss(0x40_0000 + i * 64);
+        }
+        assert!(ppf.filter(&t, &cand(0xd0_0000, 0x5, 70, 2)));
+    }
+}
+
+mod lp {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_metadata_then_hits() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        // Segment 0x1000/4096 = 1 is cold: no prediction, md miss counted.
+        let tag = lp.predict_load(&load(0x400, 0x1000));
+        assert_eq!(tag.decision, OffChipDecision::NoIssue);
+        assert_eq!(lp.stats().md_misses, 1);
+        assert_eq!(lp.stats().md_hits, 0);
+        // Same segment again: the metadata cache now hits.
+        let _ = lp.predict_load(&load(0x400, 0x1040));
+        assert_eq!(lp.stats().md_hits, 1);
+        assert_eq!(lp.stats().md_misses, 1);
+    }
+
+    #[test]
+    fn metadata_hit_predicts_offchip_for_nonresident_lines() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let _ = lp.predict_load(&load(0x400, 0x2000)); // warm the segment
+        let tag = lp.predict_load(&load(0x400, 0x2040));
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::IssueNow,
+            "metadata hit + non-resident line must route to DRAM"
+        );
+        assert_eq!(lp.stats().predicted_offchip, 1);
+    }
+
+    #[test]
+    fn resident_lines_stay_onchip_after_training() {
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let c = load(0x400, 0x3000);
+        let _ = lp.predict_load(&c); // warm the segment
+        let tag = lp.predict_load(&c);
+        assert_eq!(tag.decision, OffChipDecision::IssueNow);
+        // The load completes: the line is now resident in the hierarchy.
+        lp.train_load(&c, &tag, Level::Dram);
+        let tag = lp.predict_load(&c);
+        assert_eq!(
+            tag.decision,
+            OffChipDecision::NoIssue,
+            "a trained (resident) line must not be routed to DRAM again"
+        );
+        assert_eq!(lp.stats().correct_offchip, 1);
+        assert!((lp.stats().precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_capacity_evictions_forget_segments() {
+        let cfg = LpConfig::test_tiny(); // 4 sets x 2 ways = 8 segments
+        let mut lp = Lp::new(LpConfig::test_tiny());
+        let capacity = (cfg.md_sets * cfg.md_ways) as u64;
+        // Touch enough distinct segments to evict segment 0...
+        for s in 0..=capacity * 2 {
+            let _ = lp.predict_load(&load(0x400, s * 4096));
+        }
+        let misses_before = lp.stats().md_misses;
+        // ...so segment 0 misses metadata again.
+        let _ = lp.predict_load(&load(0x400, 0x0));
+        assert_eq!(lp.stats().md_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn storage_dwarfs_tlp_budget() {
+        let lp = Lp::new(LpConfig::hpca22());
+        let kb = lp.storage_bits() as f64 / 8.0 / 1024.0;
+        // The paper's related-work point: LP's metadata cache is an order
+        // of magnitude bigger than TLP's ~7 KB.
+        assert!(kb > 30.0, "hpca22 metadata cache is only {kb:.1} KB");
+    }
+}

@@ -8,7 +8,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use tlp_harness::experiments::{
-    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage, ext06_victim,
+    ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
+    ext06_victim, ext07_rl,
 };
 use tlp_harness::{Harness, RunConfig};
 
@@ -56,6 +57,10 @@ fn extension_benches(c: &mut Criterion) {
     g.bench_function("ext06_victim_cache", |b| {
         let h = Harness::new(bench_rc());
         b.iter(|| ext06_victim::run(&h));
+    });
+    g.bench_function("ext07_rl_coordination", |b| {
+        let h = Harness::new(bench_rc());
+        b.iter(|| (ext07_rl::run(&h), ext07_rl::run_learning_curve(&h)));
     });
     g.finish();
 }

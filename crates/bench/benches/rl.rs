@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the RL subsystem's hot path: per-load
+//! state-hash + ε-greedy action selection, the per-candidate prefetch
+//! decision, and the delayed-reward Q-update. These run once per demand
+//! load / prefetch candidate in an AthenaRl simulation, so their cost
+//! bounds the scheme's simulation overhead.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tlp_rl::{AthenaAgent, RlConfig};
+use tlp_sim::types::Level;
+
+fn rl_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rl");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+
+    g.bench_function("decide_load_state_hash_and_select", |b| {
+        let mut agent = AthenaAgent::new(RlConfig::default_config());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let pc = 0x400 + (i % 64) * 4;
+            let vaddr = 0x10_0000 + i * 64;
+            agent.decide_load(black_box(pc), black_box(vaddr))
+        });
+    });
+
+    g.bench_function("decide_prefetch_state_hash_and_select", |b| {
+        let mut agent = AthenaAgent::new(RlConfig::default_config());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let pc = 0x800 + (i % 32) * 4;
+            let paddr = 0x20_0000 + i * 64;
+            agent.decide_prefetch(black_box(pc), black_box(paddr), i.is_multiple_of(3))
+        });
+    });
+
+    g.bench_function("decide_and_reward_load_roundtrip", |b| {
+        let mut agent = AthenaAgent::new(RlConfig::default_config());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let (_, meta) = agent.decide_load(0x400 + (i % 64) * 4, 0x30_0000 + i * 64);
+            let served = if i.is_multiple_of(4) {
+                Level::Dram
+            } else {
+                Level::L2
+            };
+            agent.reward_load(black_box(meta), served);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, rl_benches);
+criterion_main!(benches);

@@ -11,20 +11,56 @@
 //! `ext1` (off-chip predictor head-to-head incl. LP), `ext2` (LLC
 //! replacement ablation), `ext3` (threshold sweeps), `ext4`
 //! (drop-one-feature), `ext5` (storage-budget sweep), `ext6` (victim
-//! cache vs TLP).
+//! cache vs TLP), `ext7` (online-RL coordination head-to-head +
+//! learning curve).
 
 use tlp_harness::experiments::{
     ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
-    ext06_victim, fig01, fig02, fig03, fig04, fig05, fig06, fig10, fig11, fig12, fig13, fig14,
-    fig15, fig16, fig17, tables,
+    ext06_victim, ext07_rl, fig01, fig02, fig03, fig04, fig05, fig06, fig10, fig11, fig12, fig13,
+    fig14, fig15, fig16, fig17, tables,
 };
 use tlp_harness::report::ExperimentResult;
 use tlp_harness::{Harness, L1Pf, RunConfig};
 
-const ALL_EXPERIMENTS: [&str; 22] = [
+const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17", "table2", "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+    "ext7",
 ];
+
+/// Experiment names accepted on the command line beyond [`ALL_EXPERIMENTS`].
+const EXTRA_NAMES: [&str; 2] = ["table45", "all"];
+
+/// Levenshtein edit distance (small inputs; O(len²) is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest known experiment names, best first (the "did you mean" list).
+fn suggestions(unknown: &str) -> Vec<&'static str> {
+    let mut scored: Vec<(usize, &'static str)> = ALL_EXPERIMENTS
+        .iter()
+        .chain(EXTRA_NAMES.iter())
+        .map(|&n| (edit_distance(unknown, n), n))
+        .collect();
+    scored.sort();
+    scored
+        .into_iter()
+        .take_while(|&(d, _)| d <= 3)
+        .take(3)
+        .map(|(_, n)| n)
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,10 +84,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--list" => {
+                for e in ALL_EXPERIMENTS.iter().chain(EXTRA_NAMES.iter()) {
+                    println!("{e}");
+                }
+                return;
+            }
             "--help" | "-h" => {
                 println!(
-                    "tlp-repro [--test|--quick|--full] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
+                    "tlp-repro [--test|--quick|--full] [--list] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
                      experiments: {} table45 all\n\
+                     --list prints the experiment ids, one per line\n\
                      --json/--csv write <id>.json/<id>.csv per result into --out DIR (default: results/)\n\
                      --chart also prints each result's first column as an ASCII bar chart",
                     ALL_EXPERIMENTS.join(" ")
@@ -60,6 +103,24 @@ fn main() {
             }
             other => requested.push(other.to_string()),
         }
+    }
+    let unknown: Vec<&String> = requested
+        .iter()
+        .filter(|r| !ALL_EXPERIMENTS.contains(&r.as_str()) && !EXTRA_NAMES.contains(&r.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for u in unknown {
+            let hint = suggestions(u);
+            if hint.is_empty() {
+                eprintln!("unknown experiment: {u} (--list shows all ids)");
+            } else {
+                eprintln!(
+                    "unknown experiment: {u} (did you mean: {}?)",
+                    hint.join(", ")
+                );
+            }
+        }
+        std::process::exit(2);
     }
     if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
@@ -142,9 +203,7 @@ fn run_experiment(h: &Harness, id: &str, rc: RunConfig) -> Vec<ExperimentResult>
         "ext4" => vec![ext04_features::run(h)],
         "ext5" => vec![ext05_storage::run(h)],
         "ext6" => vec![ext06_victim::run(h)],
-        other => {
-            eprintln!("unknown experiment: {other} (try --help)");
-            Vec::new()
-        }
+        "ext7" => vec![ext07_rl::run(h), ext07_rl::run_learning_curve(h)],
+        other => unreachable!("experiment names validated up front: {other}"),
     }
 }

@@ -8,6 +8,7 @@ pub mod ext03_thresholds;
 pub mod ext04_features;
 pub mod ext05_storage;
 pub mod ext06_victim;
+pub mod ext07_rl;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

@@ -5,6 +5,7 @@ use tlp_baselines::{Hermes, HermesConfig, Lp, LpConfig, Ppf, PpfConfig};
 use tlp_core::variants::TlpVariant;
 use tlp_core::{Flp, OffChipPerceptronConfig, Slp, TlpConfig};
 use tlp_prefetch::{Berti, Ipcp, NextLine, Spp, SppConfig, StridePrefetcher};
+use tlp_rl::{shared_agent, RlConfig, RlOffChip, RlPrefetchFilter, SharedAgent};
 use tlp_sim::engine::CoreSetup;
 use tlp_sim::hooks::L1Prefetcher;
 use tlp_trace::TraceSource;
@@ -166,6 +167,11 @@ pub enum Scheme {
     /// core like Hermes (no selective delay). The paper notes this wins
     /// over TLP only under unrealistically abundant DRAM bandwidth.
     HermesTlp,
+    /// Athena-class baseline (extension experiment E7): one online RL
+    /// agent coordinating both seams — off-chip prediction for demand
+    /// loads and L1D prefetch filtering — in place of TLP's hand-tuned
+    /// thresholds.
+    AthenaRl,
 }
 
 impl Scheme {
@@ -186,6 +192,7 @@ impl Scheme {
             Scheme::Lp => "LP",
             Scheme::TlpCustom(_) => "TLP*",
             Scheme::HermesTlp => "Hermes+TLP",
+            Scheme::AthenaRl => "AthenaRl",
         }
     }
 
@@ -202,6 +209,12 @@ impl Scheme {
     /// Assembles a [`CoreSetup`] for this scheme around a trace.
     #[must_use]
     pub fn build_setup(self, trace: Box<dyn TraceSource>, l1pf: L1Pf) -> CoreSetup {
+        if matches!(self, Scheme::AthenaRl) {
+            // One fresh agent behind both seams: that coordination is the
+            // point of the Athena design. (Persistent-agent studies build
+            // the same system through [`athena_rl_setup`] directly.)
+            return Self::athena_rl_setup(trace, l1pf, shared_agent(RlConfig::default_config()));
+        }
         let mut setup = CoreSetup::new(trace).with_l1_prefetcher(l1pf.build());
         match self {
             Scheme::Baseline => {
@@ -256,8 +269,27 @@ impl Scheme {
                     })))
                     .with_l1_filter(Box::new(Slp::new(cfg.slp)));
             }
+            Scheme::AthenaRl => unreachable!("handled before the generic setup is built"),
         }
         setup
+    }
+
+    /// Assembles the [`Scheme::AthenaRl`] system around an externally
+    /// owned agent. The learning-curve experiment (ext7) and the
+    /// `rl_agent` example persist one agent across epochs; this is the
+    /// single place the AthenaRl wiring lives, so the head-to-head and
+    /// the persistent-agent studies always measure the same system.
+    #[must_use]
+    pub fn athena_rl_setup(
+        trace: Box<dyn TraceSource>,
+        l1pf: L1Pf,
+        agent: SharedAgent,
+    ) -> CoreSetup {
+        CoreSetup::new(trace)
+            .with_l1_prefetcher(l1pf.build())
+            .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
+            .with_offchip(Box::new(RlOffChip::new(agent.clone())))
+            .with_l1_filter(Box::new(RlPrefetchFilter::new(agent)))
     }
 
     fn build_setup_inner(self, mut setup: CoreSetup) -> CoreSetup {
@@ -298,6 +330,7 @@ mod tests {
             Scheme::Lp,
             Scheme::TlpCustom(TlpParams::paper()),
             Scheme::HermesTlp,
+            Scheme::AthenaRl,
         ] {
             let _ = s.build_setup(trace(), L1Pf::Ipcp);
         }
@@ -368,6 +401,7 @@ mod tests {
             Scheme::HermesPpf,
             Scheme::Tlp,
             Scheme::HermesExtra,
+            Scheme::AthenaRl,
         ]
         .into_iter()
         .map(Scheme::key)

@@ -5,7 +5,7 @@
 
 use tlp_harness::experiments::{
     ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
-    ext06_victim, fig01, fig04, tables,
+    ext06_victim, ext07_rl, fig01, fig04, tables,
 };
 use tlp_harness::report::ExperimentResult;
 use tlp_harness::{Harness, RunConfig};
@@ -107,6 +107,41 @@ fn ext06_reports_all_configurations() {
     let h = tiny_harness();
     let r = ext06_victim::run(&h);
     assert_well_formed(&r, 4, &["speedup", "ΔDRAM", "VC hit%"]);
+}
+
+#[test]
+fn ext07_compares_all_four_systems() {
+    let h = tiny_harness();
+    let r = ext07_rl::run(&h);
+    assert_well_formed(&r, 4, &["speedup", "ΔDRAM", "precision"]);
+    let labels: Vec<&str> = r.rows.iter().map(|x| x.label.as_str()).collect();
+    assert_eq!(labels, ["Baseline", "Hermes", "TLP", "AthenaRl"]);
+    // The baseline row is its own reference point.
+    assert_eq!(r.rows[0].get("speedup"), Some(0.0));
+    assert_eq!(r.rows[0].get("ΔDRAM"), Some(0.0));
+}
+
+#[test]
+fn ext07_learning_curve_has_one_row_per_epoch() {
+    let h = tiny_harness();
+    let r = ext07_rl::run_learning_curve(&h);
+    assert_well_formed(&r, ext07_rl::EPOCHS, &["issue acc", "issued/kld", "IPC"]);
+    assert_eq!(r.summary.len(), 1, "mean row");
+    for row in &r.rows {
+        let acc = row.get("issue acc").expect("column checked");
+        assert!((0.0..=100.0).contains(&acc), "{}: acc {acc}", row.label);
+        assert!(row.get("IPC").expect("column checked") > 0.0);
+    }
+    // The persistent agent must not get *worse* across epochs: the last
+    // epoch's accuracy stays at or above the first's.
+    let first = r.rows[0].get("issue acc").expect("column checked");
+    let last = r.rows[ext07_rl::EPOCHS - 1]
+        .get("issue acc")
+        .expect("column checked");
+    assert!(
+        last >= first - 1e-9,
+        "learning curve regressed: {first:.2} -> {last:.2}"
+    );
 }
 
 #[test]

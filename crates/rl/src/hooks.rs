@@ -1,0 +1,217 @@
+//! Simulator plug-ins: one shared agent behind both of `tlp-sim`'s
+//! decision seams.
+//!
+//! The same [`AthenaAgent`] serves as the off-chip predictor consulted at
+//! load dispatch *and* the L1D prefetch filter — that coordination is the
+//! point of the Athena design (prefetchers and off-chip predictors fight
+//! over the same DRAM bandwidth; one agent sees both sides). The simulator
+//! owns one `Box` per seam, so the agent lives behind an
+//! `Arc<Mutex<...>>`; contention is nil in practice because each core's
+//! hooks run on one simulation thread.
+//!
+//! Both hooks ride the existing request metadata: the agent's packed
+//! `(state, action)` word travels in the `confidence` slot of
+//! [`OffChipTag`]/[`FilterTag`] — the same Table-II metadata path TLP's
+//! perceptron indices use — and comes back at completion for the delayed
+//! reward.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tlp_perceptron::FeatureIndices;
+use tlp_sim::hooks::{
+    FilterTag, L1FilterCtx, L1PrefetchFilter, LoadCtx, OffChipPredictor, OffChipTag,
+};
+use tlp_sim::types::Level;
+
+use crate::agent::{AthenaAgent, RlConfig};
+
+/// The shared handle both hooks (and experiment code) hold.
+pub type SharedAgent = Arc<Mutex<AthenaAgent>>;
+
+/// Builds a fresh shared agent.
+#[must_use]
+pub fn shared_agent(cfg: RlConfig) -> SharedAgent {
+    Arc::new(Mutex::new(AthenaAgent::new(cfg)))
+}
+
+/// The off-chip-predictor face of the agent (FLP's seam).
+#[derive(Debug)]
+pub struct RlOffChip {
+    agent: SharedAgent,
+}
+
+impl RlOffChip {
+    /// Wraps a shared agent.
+    #[must_use]
+    pub fn new(agent: SharedAgent) -> Self {
+        Self { agent }
+    }
+}
+
+impl OffChipPredictor for RlOffChip {
+    fn predict_load(&mut self, ctx: &LoadCtx) -> OffChipTag {
+        let (decision, meta) = self.agent.lock().decide_load(ctx.pc, ctx.vaddr);
+        OffChipTag {
+            decision,
+            confidence: meta,
+            indices: FeatureIndices::empty(),
+            valid: true,
+        }
+    }
+
+    fn train_load(&mut self, _ctx: &LoadCtx, tag: &OffChipTag, served_from: Level) {
+        if !tag.valid {
+            return;
+        }
+        self.agent.lock().reward_load(tag.confidence, served_from);
+    }
+
+    fn name(&self) -> &'static str {
+        "athena-rl"
+    }
+}
+
+/// The prefetch-filter face of the agent (SLP's seam).
+#[derive(Debug)]
+pub struct RlPrefetchFilter {
+    agent: SharedAgent,
+}
+
+impl RlPrefetchFilter {
+    /// Wraps a shared agent.
+    #[must_use]
+    pub fn new(agent: SharedAgent) -> Self {
+        Self { agent }
+    }
+}
+
+impl L1PrefetchFilter for RlPrefetchFilter {
+    fn filter(&mut self, ctx: &L1FilterCtx) -> (bool, FilterTag) {
+        let (keep, meta) = self.agent.lock().decide_prefetch(
+            ctx.trigger_pc,
+            ctx.pf_paddr,
+            ctx.trigger_tag.predicted_offchip(),
+        );
+        (
+            keep,
+            FilterTag {
+                confidence: meta,
+                indices: FeatureIndices::empty(),
+                valid: true,
+            },
+        )
+    }
+
+    fn train(&mut self, _ctx: &L1FilterCtx, tag: &FilterTag, served_from: Level) {
+        if !tag.valid {
+            return;
+        }
+        self.agent
+            .lock()
+            .reward_prefetch(tag.confidence, served_from);
+    }
+
+    fn name(&self) -> &'static str {
+        "athena-rl-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_ctx(pc: u64, vaddr: u64) -> LoadCtx {
+        LoadCtx {
+            core: 0,
+            pc,
+            vaddr,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn both_hooks_share_one_agent() {
+        let agent = shared_agent(RlConfig::default_config());
+        let mut off = RlOffChip::new(Arc::clone(&agent));
+        let mut filt = RlPrefetchFilter::new(Arc::clone(&agent));
+        let tag = off.predict_load(&load_ctx(0x400, 0x1000));
+        assert!(tag.valid);
+        off.train_load(&load_ctx(0x400, 0x1000), &tag, Level::Dram);
+        let fctx = L1FilterCtx {
+            core: 0,
+            trigger_pc: 0x400,
+            trigger_vaddr: 0x1000,
+            pf_vaddr: 0x1040,
+            pf_paddr: 0x1040,
+            trigger_tag: tag,
+            cycle: 0,
+        };
+        let (_, ftag) = filt.filter(&fctx);
+        assert!(ftag.valid);
+        let s = agent.lock().stats();
+        assert_eq!(s.load_decisions.iter().sum::<u64>(), 1);
+        assert_eq!(s.pf_decisions.iter().sum::<u64>(), 1);
+        assert_eq!(s.load_updates, 1);
+    }
+
+    #[test]
+    fn invalid_tags_do_not_train() {
+        let agent = shared_agent(RlConfig::default_config());
+        let mut off = RlOffChip::new(Arc::clone(&agent));
+        off.train_load(&load_ctx(0, 0), &OffChipTag::none(), Level::Dram);
+        let mut filt = RlPrefetchFilter::new(Arc::clone(&agent));
+        let fctx = L1FilterCtx {
+            core: 0,
+            trigger_pc: 0,
+            trigger_vaddr: 0,
+            pf_vaddr: 0,
+            pf_paddr: 0,
+            trigger_tag: OffChipTag::none(),
+            cycle: 0,
+        };
+        filt.train(&fctx, &FilterTag::default(), Level::Dram);
+        let s = agent.lock().stats();
+        assert_eq!(s.load_updates, 0);
+        assert_eq!(s.pf_updates, 0);
+    }
+
+    #[test]
+    fn dropped_prefetch_rewards_instantly() {
+        let agent = shared_agent(RlConfig {
+            eps_start: 0,
+            eps_floor: 0,
+            ..RlConfig::default_config()
+        });
+        // Saturate the prefetch-DRAM pressure so dropping becomes
+        // attractive, then drive one state into the drop action.
+        {
+            let mut a = agent.lock();
+            for i in 0..600u64 {
+                let (keep, meta) = a.decide_prefetch(0x900, 0x50_0000 + (i % 8) * 64, true);
+                if keep {
+                    a.reward_prefetch(meta, Level::Dram);
+                }
+            }
+        }
+        let mut filt = RlPrefetchFilter::new(Arc::clone(&agent));
+        let fctx = L1FilterCtx {
+            core: 0,
+            trigger_pc: 0x900,
+            trigger_vaddr: 0x50_0000,
+            pf_vaddr: 0x50_0040,
+            pf_paddr: 0x50_0040,
+            trigger_tag: OffChipTag::from_offchip_bit(true),
+            cycle: 0,
+        };
+        let before = agent.lock().stats().pf_updates;
+        let (keep, _) = filt.filter(&fctx);
+        assert!(!keep, "saturated DRAM-bound state must drop");
+        assert_eq!(
+            agent.lock().stats().pf_updates,
+            before + 1,
+            "drop must self-train without a completion callback"
+        );
+    }
+}

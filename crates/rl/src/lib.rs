@@ -1,0 +1,44 @@
+//! `tlp-rl`: an Athena-class online reinforcement-learning coordination
+//! subsystem for off-chip prediction and adaptive prefetch filtering.
+//!
+//! The TLP paper (HPCA 2024) couples two supervised perceptrons — FLP for
+//! off-chip prediction, SLP for prefetch filtering — through hand-tuned
+//! thresholds (τ_high, τ_low, τ_pref). *Athena* (Bera et al., PAPERS.md)
+//! replaces exactly those hand-tuned decision points with one online RL
+//! agent that observes both seams and learns its policy from delayed
+//! rewards. This crate implements that baseline against the same
+//! `tlp-sim` hook traits TLP itself plugs into:
+//!
+//! * [`AthenaAgent`] — a tabular Q-learning core: state = hashed Table-I
+//!   program features (reusing `tlp_core::features`) salted with quantised
+//!   system-pressure signals; actions = {no-issue, issue-on-L1D-miss,
+//!   issue-now} for demand loads and {keep, drop} for L1D prefetch
+//!   candidates; rewards assigned when the outcome (serving level)
+//!   resolves, mirroring how TLP trains on the fill level.
+//! * [`RlOffChip`] / [`RlPrefetchFilter`] — the two hook faces sharing one
+//!   agent (`Arc<Mutex<_>>` via [`shared_agent`]).
+//! * [`storage::storage_report`] — Table-II-style storage accounting,
+//!   bounded at ≤ 14 KB (2× TLP's budget) by [`storage::BUDGET_KB`].
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_rl::{shared_agent, RlConfig, RlOffChip, RlPrefetchFilter};
+//!
+//! let agent = shared_agent(RlConfig::default_config());
+//! let offchip = RlOffChip::new(agent.clone());
+//! let filter = RlPrefetchFilter::new(agent.clone());
+//! // Plug both into one CoreSetup; they learn jointly.
+//! let _ = (offchip, filter);
+//! let report = tlp_rl::storage::storage_report(agent.lock().config());
+//! assert!(report.within_budget());
+//! ```
+
+pub mod agent;
+pub mod hooks;
+pub mod qtable;
+pub mod storage;
+
+pub use agent::{AgentStats, AthenaAgent, PressureSignals, RlConfig};
+pub use hooks::{shared_agent, RlOffChip, RlPrefetchFilter, SharedAgent};
+pub use qtable::{QTable, Q_VALUE_BITS, REWARD_ONE};

@@ -1,0 +1,170 @@
+//! The tabular Q-learning core: one row of saturating fixed-point action
+//! values per hashed state.
+//!
+//! Athena's agent is hardware-honest in the same way TLP's perceptrons are:
+//! a flat SRAM of small Q-values indexed by a hashed state, updated with a
+//! shift-only learning rate (α = 1/2ⁿ) so no multiplier is needed. Rewards
+//! and Q-values share one fixed-point scale ([`REWARD_ONE`] = 1.0); entries
+//! saturate at ±([`Q_VALUE_BITS`]-bit range) like perceptron weights do.
+
+/// Fixed-point scale: a reward/Q-value of `REWARD_ONE` means 1.0.
+pub const REWARD_ONE: i32 = 64;
+
+/// Bits per Q-value the hardware budget accounts for. Values are clamped to
+/// the signed range of this width.
+pub const Q_VALUE_BITS: usize = 12;
+
+const Q_CLAMP: i32 = (1 << (Q_VALUE_BITS - 1)) - 1;
+
+/// A tabular Q-function over `2^state_bits` hashed states.
+#[derive(Debug, Clone)]
+pub struct QTable {
+    q: Vec<i32>,
+    actions: usize,
+    state_bits: u32,
+    alpha_shift: u32,
+}
+
+impl QTable {
+    /// Builds a zero-initialised table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `actions` is zero or `state_bits` is not in `1..=20`.
+    #[must_use]
+    pub fn new(state_bits: u32, actions: usize, alpha_shift: u32) -> Self {
+        assert!(actions > 0, "at least one action required");
+        assert!(
+            (1..=20).contains(&state_bits),
+            "state_bits must be in 1..=20"
+        );
+        Self {
+            q: vec![0; (1usize << state_bits) * actions],
+            actions,
+            state_bits,
+            alpha_shift,
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        1 << self.state_bits
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// State-index width in bits.
+    #[must_use]
+    pub fn state_bits(&self) -> u32 {
+        self.state_bits
+    }
+
+    /// The Q-value of `(state, action)`.
+    #[must_use]
+    pub fn q(&self, state: usize, action: usize) -> i32 {
+        self.q[self.slot(state, action)]
+    }
+
+    /// The greedy action for `state` and its Q-value. Ties break toward the
+    /// lowest action index, so action 0 is the cold-start default — heads
+    /// order their safest action first.
+    #[must_use]
+    pub fn best(&self, state: usize) -> (usize, i32) {
+        let base = self.slot(state, 0);
+        let row = &self.q[base..base + self.actions];
+        let mut best = (0, row[0]);
+        for (a, &v) in row.iter().enumerate().skip(1) {
+            if v > best.1 {
+                best = (a, v);
+            }
+        }
+        best
+    }
+
+    /// One delayed-reward update: `Q(s,a) += (r − Q(s,a)) >> α_shift`,
+    /// saturating to the accounted [`Q_VALUE_BITS`]-bit range. The
+    /// shift-only rule never gets stuck: when the error is nonzero but
+    /// smaller than `2^α_shift`, it still moves by ±1.
+    pub fn update(&mut self, state: usize, action: usize, reward: i32) {
+        let slot = self.slot(state, action);
+        let err = reward - self.q[slot];
+        let mut step = err >> self.alpha_shift;
+        if step == 0 && err != 0 {
+            step = err.signum();
+        }
+        self.q[slot] = (self.q[slot] + step).clamp(-Q_CLAMP, Q_CLAMP);
+    }
+
+    /// SRAM footprint in bits ([`Q_VALUE_BITS`] per entry).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.q.len() * Q_VALUE_BITS
+    }
+
+    fn slot(&self, state: usize, action: usize) -> usize {
+        debug_assert!(action < self.actions, "action out of range");
+        (state & (self.states() - 1)) * self.actions + action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_table_prefers_action_zero() {
+        let t = QTable::new(4, 3, 2);
+        for s in 0..t.states() {
+            assert_eq!(t.best(s).0, 0);
+        }
+    }
+
+    #[test]
+    fn update_moves_toward_reward() {
+        let mut t = QTable::new(4, 2, 2);
+        for _ in 0..64 {
+            t.update(3, 1, REWARD_ONE);
+        }
+        assert_eq!(t.best(3), (1, REWARD_ONE));
+        // Other states untouched.
+        assert_eq!(t.q(4, 1), 0);
+    }
+
+    #[test]
+    fn small_errors_still_converge() {
+        let mut t = QTable::new(2, 1, 4);
+        // Error 1 < 2^4: the ±1 floor keeps learning alive.
+        t.update(0, 0, 1);
+        assert_eq!(t.q(0, 0), 1);
+    }
+
+    #[test]
+    fn q_values_saturate() {
+        let mut t = QTable::new(2, 1, 0);
+        for _ in 0..10 {
+            t.update(1, 0, i32::MAX / 2);
+        }
+        assert_eq!(t.q(1, 0), (1 << (Q_VALUE_BITS - 1)) - 1);
+        for _ in 0..10 {
+            t.update(1, 0, i32::MIN / 2);
+        }
+        assert_eq!(t.q(1, 0), -((1 << (Q_VALUE_BITS - 1)) - 1));
+    }
+
+    #[test]
+    fn state_index_wraps_instead_of_panicking() {
+        let t = QTable::new(3, 2, 2);
+        assert_eq!(t.q(8 + 5, 1), t.q(5, 1));
+    }
+
+    #[test]
+    fn storage_counts_every_entry() {
+        let t = QTable::new(10, 3, 2);
+        assert_eq!(t.storage_bits(), 1024 * 3 * Q_VALUE_BITS);
+    }
+}

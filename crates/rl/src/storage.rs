@@ -1,0 +1,145 @@
+//! Storage accounting for the RL subsystem, in the style of Table II
+//! (`tlp_core::storage::storage_report`).
+//!
+//! | component | bits | at the default config |
+//! |-----------|------|----------------------|
+//! | load-head Q-table | `2^state_bits × 3 ×` [`Q_VALUE_BITS`] | 4.50 KB |
+//! | prefetch-head Q-table | `2^state_bits × 2 ×` [`Q_VALUE_BITS`] | 3.00 KB |
+//! | page buffers (one per head) | 2 × 64 × 80 | 1.25 KB |
+//! | pressure EWMAs | 2 × 9 + bucket logic | ~0 KB |
+//! | LQ metadata | 72 × (state + 2) | 0.11 KB |
+//! | L1D MSHR metadata | 10 × (state + 2) | 0.01 KB |
+//! | **total** | | **≈ 8.87 KB** |
+//!
+//! The documented budget is [`BUDGET_KB`] = 14 KB (≤ 2× TLP's ≈ 7 KB
+//! Table-II footprint); [`StorageReport::within_budget`] enforces it and a
+//! unit test pins the default configuration inside it.
+
+use crate::agent::{RlConfig, LOAD_ACTIONS, PF_ACTIONS};
+use crate::qtable::Q_VALUE_BITS;
+
+/// The documented budget ceiling: twice TLP's ≈ 7 KB.
+pub const BUDGET_KB: f64 = 14.0;
+
+/// Load-queue entries carrying agent metadata (matches TLP's Table II).
+pub const LOAD_QUEUE_ENTRIES: usize = 72;
+
+/// L1D MSHR entries carrying agent metadata (matches TLP's Table II).
+pub const L1D_MSHR_ENTRIES: usize = 10;
+
+/// Bits of the two pressure EWMAs (9-bit rates in `0..=256`).
+pub const PRESSURE_BITS: usize = 2 * 9;
+
+/// The per-component storage budget of the RL subsystem, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Load-head Q-table.
+    pub load_q_bits: usize,
+    /// Prefetch-head Q-table.
+    pub pf_q_bits: usize,
+    /// The first-access page buffers — one per head, exactly like FLP and
+    /// SLP each carry their own (the heads observe different address
+    /// spaces: virtual demand addresses vs. physical prefetch targets).
+    pub page_buffer_bits: usize,
+    /// Pressure EWMAs.
+    pub pressure_bits: usize,
+    /// Load-queue metadata: packed (state, action) per entry.
+    pub lq_metadata_bits: usize,
+    /// L1D MSHR metadata.
+    pub mshr_metadata_bits: usize,
+}
+
+impl StorageReport {
+    /// Total bits.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.load_q_bits
+            + self.pf_q_bits
+            + self.page_buffer_bits
+            + self.pressure_bits
+            + self.lq_metadata_bits
+            + self.mshr_metadata_bits
+    }
+
+    /// Total in kilobytes.
+    #[must_use]
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Q-table subtotal in kilobytes (the dominant term).
+    #[must_use]
+    pub fn q_tables_kb(&self) -> f64 {
+        (self.load_q_bits + self.pf_q_bits) as f64 / 8.0 / 1024.0
+    }
+
+    /// True when the total stays within the documented [`BUDGET_KB`].
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.total_kb() <= BUDGET_KB
+    }
+}
+
+/// Computes the storage budget for a configuration, Table-II style.
+#[must_use]
+pub fn storage_report(cfg: &RlConfig) -> StorageReport {
+    let states = 1usize << cfg.state_bits;
+    // Metadata packs the hashed state plus a 2-bit action.
+    let meta_bits = cfg.state_bits as usize + 2;
+    StorageReport {
+        load_q_bits: states * LOAD_ACTIONS * Q_VALUE_BITS,
+        pf_q_bits: states * PF_ACTIONS * Q_VALUE_BITS,
+        page_buffer_bits: 2 * tlp_core::features::PageBuffer::storage_bits(),
+        pressure_bits: PRESSURE_BITS,
+        lq_metadata_bits: LOAD_QUEUE_ENTRIES * meta_bits,
+        mshr_metadata_bits: L1D_MSHR_ENTRIES * meta_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_stays_within_budget() {
+        let r = storage_report(&RlConfig::default_config());
+        assert!(
+            r.within_budget(),
+            "default config blows the {BUDGET_KB} KB budget: {:.2} KB",
+            r.total_kb()
+        );
+        // And is in the documented ballpark, not accidentally tiny.
+        assert!(
+            (7.0..=10.0).contains(&r.total_kb()),
+            "expected ≈8.87 KB, got {:.2}",
+            r.total_kb()
+        );
+    }
+
+    #[test]
+    fn q_tables_dominate() {
+        let r = storage_report(&RlConfig::default_config());
+        assert!(r.q_tables_kb() > r.total_kb() / 2.0);
+        assert_eq!(r.load_q_bits, 1024 * 3 * Q_VALUE_BITS);
+        assert_eq!(r.pf_q_bits, 1024 * 2 * Q_VALUE_BITS);
+    }
+
+    #[test]
+    fn report_matches_live_tables() {
+        let cfg = RlConfig::default_config();
+        let agent = crate::agent::AthenaAgent::new(cfg);
+        let r = storage_report(&cfg);
+        assert_eq!(r.load_q_bits, agent.load_q().storage_bits());
+        assert_eq!(r.pf_q_bits, agent.pf_q().storage_bits());
+    }
+
+    #[test]
+    fn doubling_states_doubles_q_storage() {
+        let mut cfg = RlConfig::default_config();
+        let base = storage_report(&cfg);
+        cfg.state_bits += 1;
+        let big = storage_report(&cfg);
+        assert_eq!(big.load_q_bits, 2 * base.load_q_bits);
+        assert_eq!(big.pf_q_bits, 2 * base.pf_q_bits);
+    }
+}

@@ -1,0 +1,97 @@
+//! Standalone RL-agent training: run one persistent Athena-style agent
+//! for several epochs of a single workload and watch the policy sharpen
+//! (the extension-E7 learning curve, per-workload).
+//!
+//! ```text
+//! cargo run --release --example rl_agent [workload] [epochs]
+//! ```
+
+use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
+use tlp::rl::{shared_agent, storage, RlConfig};
+use tlp::sim::engine::System;
+use tlp::sim::types::Level;
+use tlp::sim::SystemConfig;
+use tlp::trace::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("bfs.kron", String::as_str);
+    let epochs: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&e| e > 0)
+        .unwrap_or(5);
+    let rc = RunConfig::quick();
+    let h = Harness::new(rc);
+    let Some(w) = catalog::workload(name, rc.scale) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    };
+
+    let cfg = RlConfig::default_config();
+    let report = storage::storage_report(&cfg);
+    println!(
+        "agent: {} states/head, {:.2} KB total ({:.2} KB Q-tables), budget {} KB\n",
+        1usize << cfg.state_bits,
+        report.total_kb(),
+        report.q_tables_kb(),
+        storage::BUDGET_KB,
+    );
+
+    // One agent persists across epochs; each epoch restarts the
+    // architectural state (caches, DRAM) around it.
+    let agent = shared_agent(cfg);
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>8} {:>10}",
+        "epoch", "issue acc%", "issued/kld", "IPC", "eps/256", "drop%"
+    );
+    for epoch in 1..=epochs {
+        // The same wiring Scheme::AthenaRl uses, around the persistent agent.
+        let setup = Scheme::athena_rl_setup(Box::new(h.trace_for(&w)), L1Pf::Ipcp, agent.clone());
+        let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]);
+        let r = sys.run(rc.warmup, rc.instructions);
+        let oc = &r.cores[0].offchip;
+        let issued: u64 = oc.issued_outcome.iter().sum();
+        let correct = oc.issued_outcome[Level::Dram.index()];
+        let a = agent.lock();
+        let s = a.stats();
+        let pf_total: u64 = s.pf_decisions.iter().sum();
+        println!(
+            "{epoch:>8} {:>10.2} {:>12.2} {:>8.3} {:>8} {:>10.2}",
+            if issued == 0 {
+                0.0
+            } else {
+                correct as f64 * 100.0 / issued as f64
+            },
+            issued as f64 * 1000.0 / r.cores[0].core.loads.max(1) as f64,
+            r.ipc(),
+            a.epsilon(),
+            if pf_total == 0 {
+                0.0
+            } else {
+                s.pf_decisions[1] as f64 * 100.0 / pf_total as f64
+            },
+        );
+    }
+
+    let a = agent.lock();
+    let s = a.stats();
+    let p = a.pressure();
+    println!(
+        "\ntotals: {} load decisions ({} updates), {} prefetch decisions ({} updates), {} explorations",
+        s.load_decisions.iter().sum::<u64>(),
+        s.load_updates,
+        s.pf_decisions.iter().sum::<u64>(),
+        s.pf_updates,
+        s.explorations,
+    );
+    println!(
+        "pressure: DRAM-load rate {}/256, prefetch-DRAM rate {}/256",
+        p.dram_load_rate, p.pf_dram_rate,
+    );
+    println!(
+        "cumulative reward: load {:+.1}, prefetch {:+.1} (1.0 = one full reward unit)",
+        s.load_reward as f64 / f64::from(tlp::rl::REWARD_ONE),
+        s.pf_reward as f64 / f64::from(tlp::rl::REWARD_ONE),
+    );
+}

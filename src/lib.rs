@@ -8,5 +8,6 @@ pub use tlp_core as core;
 pub use tlp_harness as harness;
 pub use tlp_perceptron as perceptron;
 pub use tlp_prefetch as prefetch;
+pub use tlp_rl as rl;
 pub use tlp_sim as sim;
 pub use tlp_trace as trace;

@@ -1,6 +1,7 @@
 //! Fast smoke test: the harness scheme comparison the paper is built
-//! around — baseline vs. Hermes vs. PPF vs. TLP — must run end to end on a
-//! tiny workload and produce sane IPC for every scheme.
+//! around — baseline vs. Hermes vs. PPF vs. TLP, plus the AthenaRl
+//! extension scheme — must run end to end on a tiny workload and produce
+//! sane IPC for every scheme.
 
 use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
 use tlp::trace::catalog::{self, Scale};
@@ -13,7 +14,13 @@ fn scheme_comparison_produces_finite_positive_ipc() {
     rc.instructions = 10_000;
     let h = Harness::new(rc);
     let w = catalog::workload("bfs.kron", Scale::Tiny).expect("catalog name");
-    for scheme in [Scheme::Baseline, Scheme::Hermes, Scheme::Ppf, Scheme::Tlp] {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Hermes,
+        Scheme::Ppf,
+        Scheme::Tlp,
+        Scheme::AthenaRl,
+    ] {
         let r = h.run_single(&w, scheme, L1Pf::Ipcp);
         let ipc = r.ipc();
         assert!(
@@ -28,5 +35,15 @@ fn scheme_comparison_produces_finite_positive_ipc() {
             r.cores[0].workload, "bfs.kron",
             "{scheme:?} report lost its workload attribution"
         );
+        if scheme == Scheme::AthenaRl {
+            // The RL agent must have learned to issue speculative requests
+            // that pay off: some issued spec request was truly served from
+            // DRAM within the test budget.
+            let acc = r.cores[0].offchip.issue_accuracy();
+            assert!(
+                acc > 0.0,
+                "AthenaRl off-chip issue accuracy must be nonzero after training, got {acc}"
+            );
+        }
     }
 }
