@@ -2,8 +2,14 @@
 //!
 //! Usage:
 //! ```text
-//! tlp-repro [--test|--quick|--full] [fig1 fig2 ... | all]
+//! tlp-repro [--test|--quick|--full] [--jobs N] [--cache-dir DIR] [fig1 fig2 ... | all]
 //! ```
+//!
+//! Simulations run through the harness's content-addressed run engine:
+//! the grid of unique (workload × scheme × prefetcher × bandwidth) cells
+//! is deduplicated across experiments, sharded over `--jobs` workers, and
+//! — with `--cache-dir` — persisted so a repeated invocation performs no
+//! simulation at all (see the `# run-engine:` summary line).
 //!
 //! Every figure of the paper's evaluation is available:
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig10 fig11 fig12 fig13 fig14 fig15
@@ -68,6 +74,9 @@ fn main() {
     let mut requested: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut formats: Vec<&'static str> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -77,6 +86,22 @@ fn main() {
             "--json" => formats.push("json"),
             "--csv" => formats.push("csv"),
             "--chart" => formats.push("chart"),
+            "--all" => requested.push("all".into()),
+            "--no-cache" => no_cache = true,
+            "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a worker count >= 1");
+                    std::process::exit(2);
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--cache-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(dir.into()),
                 None => {
@@ -92,9 +117,13 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "tlp-repro [--test|--quick|--full] [--list] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
+                    "tlp-repro [--test|--quick|--full] [--list] [--all] [--jobs N] [--cache-dir DIR] [--no-cache] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
                      experiments: {} table45 all\n\
                      --list prints the experiment ids, one per line\n\
+                     --all runs every experiment (same as the `all` operand)\n\
+                     --jobs N sets the run-engine worker count (default: all cores, or $TLP_THREADS)\n\
+                     --cache-dir DIR persists simulation results on disk; a re-run is simulation-free\n\
+                     --no-cache disables the on-disk tier (the in-process cache always dedups the grid)\n\
                      --json/--csv write <id>.json/<id>.csv per result into --out DIR (default: results/)\n\
                      --chart also prints each result's first column as an ASCII bar chart",
                     ALL_EXPERIMENTS.join(" ")
@@ -103,6 +132,9 @@ fn main() {
             }
             other => requested.push(other.to_string()),
         }
+    }
+    if let Some(n) = jobs {
+        rc.threads = n;
     }
     let unknown: Vec<&String> = requested
         .iter()
@@ -133,7 +165,16 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let h = Harness::new(rc);
+    let mut h = Harness::new(rc);
+    if let (Some(dir), false) = (&cache_dir, no_cache) {
+        h = match h.with_cache_dir(dir) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot open cache dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+    }
     eprintln!(
         "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads",
         rc.scale,
@@ -172,6 +213,9 @@ fn main() {
         }
         eprintln!("# {exp} took {:.1}s", t0.elapsed().as_secs_f64());
     }
+    // The run-engine summary (CI's cache-behavior job asserts on it: a
+    // warm-cache run must report simulated=0 and hit_rate=100.0%).
+    println!("# run-engine: {}", h.engine_stats().summary_line());
 }
 
 fn run_experiment(h: &Harness, id: &str, rc: RunConfig) -> Vec<ExperimentResult> {

@@ -1,0 +1,436 @@
+//! The content-addressed result cache behind the run engine.
+//!
+//! Every grid cell the harness can simulate — (workload(s), scheme, L1D
+//! prefetcher, bandwidth, run budget) — maps to a [`RunKey`]: a stable
+//! 128-bit content hash of the cell's canonical description salted with
+//! [`CODE_VERSION`]. The cache has two tiers:
+//!
+//! * **memory** — a process-wide map shared by every experiment of one
+//!   invocation, so `tlp_repro --all` simulates each unique cell once no
+//!   matter how many figures request it;
+//! * **disk** — optional (`--cache-dir`), one JSON file per key in the
+//!   [`tlp_sim::serial`] format, so repeated invocations are
+//!   simulation-free.
+//!
+//! Cell results are deterministic functions of their description (the
+//! simulator is single-threaded per cell and all seeds are fixed), which
+//! is what makes content addressing sound; `tests/determinism.rs` pins
+//! that property across thread counts and cache states.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tlp_sim::{serial, SimReport};
+
+/// Salt folded into every [`RunKey`]. Bump this whenever a change to the
+/// simulator or workload generation alters results, so stale on-disk cache
+/// entries can never be served for the new code.
+pub const CODE_VERSION: &str = "tlp-cells-v1";
+
+/// Content hash identifying one simulation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(u128);
+
+/// FNV-1a over `bytes`, starting from `seed`.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl RunKey {
+    /// Hashes a canonical cell description (two independent 64-bit FNV-1a
+    /// streams — the grid is thousands of cells, far below the ~2⁶⁴
+    /// birthday bound of a 128-bit key). The [`CODE_VERSION`] salt is
+    /// folded into both halves.
+    #[must_use]
+    pub fn from_desc(desc: &str) -> Self {
+        let lo = fnv1a(
+            fnv1a(0xcbf2_9ce4_8422_2325, CODE_VERSION.as_bytes()),
+            desc.as_bytes(),
+        );
+        let hi = fnv1a(
+            fnv1a(0x6c62_272e_07bb_0142, CODE_VERSION.as_bytes()),
+            desc.as_bytes(),
+        );
+        Self((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// The key as 32 hex digits (the on-disk file stem).
+    #[must_use]
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Canonical fragment for an optional per-core bandwidth: exact `f64` bits
+/// so distinct sweep points can never alias.
+#[must_use]
+pub fn bandwidth_desc(gbps: Option<f64>) -> String {
+    match gbps {
+        None => "bw:default".to_owned(),
+        Some(b) => format!("bw:{:016x}", b.to_bits()),
+    }
+}
+
+/// Canonical description of a single-core cell. `env` is the harness's
+/// run-budget fragment (scale, warmup, instructions).
+#[must_use]
+pub fn single_desc(env: &str, workload: &str, scheme_key: &str, l1pf: &str, bw: &str) -> String {
+    format!("1c|{env}|{workload}|{scheme_key}|{l1pf}|{bw}")
+}
+
+/// Canonical description of a 4-core mix cell.
+#[must_use]
+pub fn mix_desc(env: &str, workloads: [&str; 4], scheme_key: &str, l1pf: &str, bw: &str) -> String {
+    format!(
+        "4c|{env}|{}+{}+{}+{}|{scheme_key}|{l1pf}|{bw}",
+        workloads[0], workloads[1], workloads[2], workloads[3]
+    )
+}
+
+/// Canonical description of a single-core cell under a custom
+/// [`tlp_sim::SystemConfig`]; `tag` must uniquely identify the deviation.
+#[must_use]
+pub fn custom_desc(env: &str, workload: &str, scheme_key: &str, l1pf: &str, tag: &str) -> String {
+    format!("1c|{env}|{workload}|{scheme_key}|{l1pf}|cfg:{tag}")
+}
+
+/// The on-disk tier: one `<key>.json` per cell under a cache directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory backing this cache.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: RunKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads one report, or `None` when absent or undecodable (a corrupt
+    /// entry behaves like a miss and is overwritten on store).
+    #[must_use]
+    pub fn load(&self, key: RunKey) -> Option<SimReport> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        serial::report_from_json(&text).ok()
+    }
+
+    /// Stores one report (atomically: temp file + rename, so concurrent
+    /// invocations sharing a directory never observe torn entries).
+    /// Best-effort — a full disk degrades to cache misses, not failures.
+    pub fn store(&self, key: RunKey, report: &SimReport) {
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serial::report_to_json(report).as_bytes())?;
+            std::fs::rename(&tmp, self.path_for(key))
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Snapshot of the engine's cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cell lookups (batch submissions + result collection).
+    pub requested: u64,
+    /// Lookups answered from the in-memory tier.
+    pub mem_hits: u64,
+    /// Lookups answered from the on-disk tier.
+    pub disk_hits: u64,
+    /// Cells actually simulated.
+    pub simulated: u64,
+    /// The subset of `simulated` that ran inline on a collection path
+    /// (a cache miss outside any [`run_cells`] batch). Migrated
+    /// experiments plan their whole grid up front, so this staying 0 is
+    /// the plan-covers-collection contract; a nonzero value means cells
+    /// are simulating single-threaded where the worker pool should have
+    /// run them.
+    ///
+    /// [`run_cells`]: crate::Harness::run_cells
+    pub inline_simulated: u64,
+    /// Duplicate cells coalesced inside submitted batches before any
+    /// lookup (the grid-dedup counter).
+    pub deduped: u64,
+}
+
+impl EngineStats {
+    /// Lookups served from either cache tier.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Percentage of lookups served from a cache tier (100 when nothing
+    /// was requested).
+    #[must_use]
+    pub fn hit_rate_percent(&self) -> f64 {
+        if self.requested == 0 {
+            return 100.0;
+        }
+        self.hits() as f64 * 100.0 / self.requested as f64
+    }
+
+    /// The one-line summary printed by the CLI (and asserted by CI's
+    /// cache-behavior job).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "requested={} deduped={} mem_hits={} disk_hits={} inline={} simulated={} hit_rate={:.1}%",
+            self.requested,
+            self.deduped,
+            self.mem_hits,
+            self.disk_hits,
+            self.inline_simulated,
+            self.simulated,
+            self.hit_rate_percent()
+        )
+    }
+}
+
+/// The two-tier content-addressed cache.
+pub struct ResultCache {
+    mem: RwLock<HashMap<RunKey, Arc<SimReport>>>,
+    disk: Option<DiskCache>,
+    requested: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    simulated: AtomicU64,
+    inline_simulated: AtomicU64,
+    deduped: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("entries", &self.mem.read().len())
+            .field("disk", &self.disk)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl ResultCache {
+    /// A memory-only cache (the default for library users and tests).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            mem: RwLock::new(HashMap::new()),
+            disk: None,
+            requested: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+            inline_simulated: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `disk` in addition to memory.
+    #[must_use]
+    pub fn with_disk(disk: DiskCache) -> Self {
+        Self {
+            disk: Some(disk),
+            ..Self::in_memory()
+        }
+    }
+
+    /// Looks one cell up: memory first, then disk (promoting a disk hit
+    /// into memory). Counts one request plus the tier that answered.
+    #[must_use]
+    pub fn lookup(&self, key: RunKey) -> Option<Arc<SimReport>> {
+        self.requested.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = self.mem.read().get(&key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(r));
+        }
+        if let Some(report) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let arc = Arc::new(report);
+            return Some(Arc::clone(
+                self.mem.write().entry(key).or_insert_with(|| arc),
+            ));
+        }
+        None
+    }
+
+    /// Records a freshly simulated cell into both tiers. If another thread
+    /// raced the same key in, the first entry wins (both are identical by
+    /// determinism) and its `Arc` is returned.
+    pub fn insert_simulated(&self, key: RunKey, report: SimReport) -> Arc<SimReport> {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = &self.disk {
+            d.store(key, &report);
+        }
+        let arc = Arc::new(report);
+        Arc::clone(self.mem.write().entry(key).or_insert_with(|| arc))
+    }
+
+    /// Records `n` in-batch duplicate submissions.
+    pub fn note_deduped(&self, n: u64) {
+        self.deduped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one simulation that ran inline on a collection path
+    /// instead of inside a submitted batch (see
+    /// [`EngineStats::inline_simulated`]).
+    pub fn note_inline_simulated(&self) {
+        self.inline_simulated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requested: self.requested.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            inline_simulated: self.inline_simulated.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlp-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            total_cycles: cycles,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_desc_sensitive() {
+        let a = RunKey::from_desc("1c|Tiny|w5000|i25000|mcf|Baseline|ipcp|bw:default");
+        let b = RunKey::from_desc("1c|Tiny|w5000|i25000|mcf|Baseline|ipcp|bw:default");
+        assert_eq!(a, b, "same description, same key");
+        let c = RunKey::from_desc("1c|Tiny|w5000|i25000|mcf|Baseline|berti|bw:default");
+        assert_ne!(a, c, "different description, different key");
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn bandwidth_descs_never_alias() {
+        assert_ne!(bandwidth_desc(Some(1.6)), bandwidth_desc(Some(1.6000001)));
+        assert_ne!(bandwidth_desc(None), bandwidth_desc(Some(0.0)));
+    }
+
+    #[test]
+    fn desc_shapes_are_disjoint() {
+        let env = "Tiny|w5000|i25000";
+        let s = single_desc(env, "mcf", "Baseline", "ipcp", "bw:default");
+        let m = mix_desc(env, ["mcf"; 4], "Baseline", "ipcp", "bw:default");
+        let c = custom_desc(env, "mcf", "Baseline", "ipcp", "lru");
+        assert_ne!(s, m);
+        assert_ne!(s, c);
+        assert_ne!(m, c);
+    }
+
+    #[test]
+    fn memory_tier_counts_hits_and_misses() {
+        let cache = ResultCache::in_memory();
+        let key = RunKey::from_desc("k");
+        assert!(cache.lookup(key).is_none());
+        cache.insert_simulated(key, report(42));
+        assert_eq!(cache.lookup(key).expect("hit").total_cycles, 42);
+        cache.note_deduped(3);
+        let st = cache.stats();
+        assert_eq!(st.requested, 2);
+        assert_eq!(st.mem_hits, 1);
+        assert_eq!(st.disk_hits, 0);
+        assert_eq!(st.simulated, 1);
+        assert_eq!(st.deduped, 3);
+        assert!((st.hit_rate_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_tier_survives_process_style_reopen() {
+        let dir = tmp_dir("reopen");
+        let key = RunKey::from_desc("cell");
+        {
+            let cache = ResultCache::with_disk(DiskCache::open(&dir).expect("open"));
+            cache.insert_simulated(key, report(7));
+        }
+        // A fresh cache over the same directory: memory cold, disk warm.
+        let cache = ResultCache::with_disk(DiskCache::open(&dir).expect("open"));
+        let hit = cache.lookup(key).expect("disk hit");
+        assert_eq!(hit.total_cycles, 7);
+        let st = cache.stats();
+        assert_eq!((st.disk_hits, st.simulated), (1, 0));
+        // The disk hit was promoted: the next lookup is a memory hit.
+        assert!(cache.lookup(key).is_some());
+        assert_eq!(cache.stats().mem_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_behave_like_misses() {
+        let dir = tmp_dir("corrupt");
+        let disk = DiskCache::open(&dir).expect("open");
+        let key = RunKey::from_desc("cell");
+        std::fs::write(disk.dir().join(format!("{}.json", key.hex())), "not json")
+            .expect("write garbage");
+        assert!(disk.load(key).is_none());
+        let cache = ResultCache::with_disk(disk);
+        assert!(cache.lookup(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_line_reports_perfect_hit_rate() {
+        let cache = ResultCache::in_memory();
+        let key = RunKey::from_desc("k");
+        cache.insert_simulated(key, report(1));
+        let _ = cache.lookup(key);
+        let line = cache.stats().summary_line();
+        assert!(line.contains("hit_rate=100.0%"), "{line}");
+        assert!(line.contains("simulated=1"), "{line}");
+        assert_eq!(EngineStats::default().hit_rate_percent(), 100.0);
+    }
+}

@@ -25,22 +25,38 @@ pub fn run(h: &Harness) -> ExperimentResult {
         "% (speedup geomean / ΔDRAM mean) + baseline LLC MPKI",
     );
     let workloads = h.active_workloads();
+    // One deduplicated batch over the whole (policy × scheme × workload)
+    // grid; the per-policy loops below collect from the cache.
+    let mut cells = Vec::new();
     for kind in ReplKind::ALL {
         let mut cfg = SystemConfig::cascade_lake(1);
         cfg.llc_repl = kind;
-        let per_w = h.parallel_map(workloads.clone(), |w| {
-            let base =
-                h.run_single_custom(w, Scheme::Baseline, L1Pf::Ipcp, cfg.clone(), kind.name());
-            let tlp = h.run_single_custom(w, Scheme::Tlp, L1Pf::Ipcp, cfg.clone(), kind.name());
-            (
-                pct_delta(tlp.ipc(), base.ipc()),
-                pct_delta(
-                    tlp.dram_transactions() as f64,
-                    base.dram_transactions() as f64,
-                ),
-                base.llc_mpki(),
-            )
-        });
+        for w in &workloads {
+            for scheme in [Scheme::Baseline, Scheme::Tlp] {
+                cells.push(h.cell_custom(w, scheme, L1Pf::Ipcp, cfg.clone(), kind.name()));
+            }
+        }
+    }
+    h.run_cells(cells);
+    for kind in ReplKind::ALL {
+        let mut cfg = SystemConfig::cascade_lake(1);
+        cfg.llc_repl = kind;
+        let per_w: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let base =
+                    h.run_single_custom(w, Scheme::Baseline, L1Pf::Ipcp, cfg.clone(), kind.name());
+                let tlp = h.run_single_custom(w, Scheme::Tlp, L1Pf::Ipcp, cfg.clone(), kind.name());
+                (
+                    pct_delta(tlp.ipc(), base.ipc()),
+                    pct_delta(
+                        tlp.dram_transactions() as f64,
+                        base.dram_transactions() as f64,
+                    ),
+                    base.llc_mpki(),
+                )
+            })
+            .collect();
         let speedups: Vec<f64> = per_w.iter().map(|x| x.0).collect();
         let deltas: Vec<f64> = per_w.iter().map(|x| x.1).collect();
         let mpkis: Vec<f64> = per_w.iter().map(|x| x.2).collect();

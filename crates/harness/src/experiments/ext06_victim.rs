@@ -36,27 +36,42 @@ pub fn run(h: &Harness) -> ExperimentResult {
         ("TLP+VC", Scheme::Tlp, true),
         ("Hermes", Scheme::Hermes, false),
     ];
-    let per_w = h.parallel_map(workloads, |w| {
-        let base = h.run_single(w, Scheme::Baseline, L1Pf::Ipcp);
-        let mut rows = Vec::new();
-        for (label, scheme, vc) in configs {
-            let r = if vc {
-                h.run_single_custom(w, scheme, L1Pf::Ipcp, vc_cfg.clone(), "vc64")
+    let mut cells = vec![];
+    for w in &workloads {
+        cells.push(h.cell_single(w, Scheme::Baseline, L1Pf::Ipcp, None));
+        for (_, scheme, vc) in configs {
+            cells.push(if vc {
+                h.cell_custom(w, scheme, L1Pf::Ipcp, vc_cfg.clone(), "vc64")
             } else {
-                h.run_single(w, scheme, L1Pf::Ipcp)
-            };
-            rows.push((
-                label,
-                pct_delta(r.ipc(), base.ipc()),
-                pct_delta(
-                    r.dram_transactions() as f64,
-                    base.dram_transactions() as f64,
-                ),
-                r.victim.hit_rate() * 100.0,
-            ));
+                h.cell_single(w, scheme, L1Pf::Ipcp, None)
+            });
         }
-        rows
-    });
+    }
+    h.run_cells(cells);
+    let per_w: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let base = h.run_single(w, Scheme::Baseline, L1Pf::Ipcp);
+            let mut rows = Vec::new();
+            for (label, scheme, vc) in configs {
+                let r = if vc {
+                    h.run_single_custom(w, scheme, L1Pf::Ipcp, vc_cfg.clone(), "vc64")
+                } else {
+                    h.run_single(w, scheme, L1Pf::Ipcp)
+                };
+                rows.push((
+                    label,
+                    pct_delta(r.ipc(), base.ipc()),
+                    pct_delta(
+                        r.dram_transactions() as f64,
+                        base.dram_transactions() as f64,
+                    ),
+                    r.victim.hit_rate() * 100.0,
+                ));
+            }
+            rows
+        })
+        .collect();
     for (i, (label, _, _)) in configs.iter().enumerate() {
         let speedups: Vec<f64> = per_w.iter().map(|r| r[i].1).collect();
         let deltas: Vec<f64> = per_w.iter().map(|r| r[i].2).collect();

@@ -82,6 +82,10 @@ fn run_epoch(h: &Harness, w: &Arc<dyn Workload>, agent: &SharedAgent) -> SimRepo
 }
 
 /// Runs the learning curve on the first active workload.
+///
+/// The epochs are a stateful sequence (the agent persists across them),
+/// so they go through [`Harness::run_sequence`]: all-or-nothing cached,
+/// keyed per epoch, and re-simulated as a whole when any epoch is cold.
 #[must_use]
 pub fn run_learning_curve(h: &Harness) -> ExperimentResult {
     let w = h.active_workloads()[0].clone();
@@ -90,9 +94,14 @@ pub fn run_learning_curve(h: &Harness) -> ExperimentResult {
         format!("AthenaRl learning curve on {} (persistent agent)", w.name()),
         "issue acc % / issued per kilo-load / IPC",
     );
-    let agent = shared_agent(RlConfig::default_config());
-    for epoch in 1..=EPOCHS {
-        let r = run_epoch(h, &w, &agent);
+    let keys: Vec<_> = (1..=EPOCHS)
+        .map(|e| h.sequence_key(&w, Scheme::AthenaRl, L1Pf::Ipcp, &format!("lc-epoch{e}")))
+        .collect();
+    let reports = h.run_sequence(&keys, || {
+        let agent = shared_agent(RlConfig::default_config());
+        (1..=EPOCHS).map(|_| run_epoch(h, &w, &agent)).collect()
+    });
+    for (epoch, r) in (1..=EPOCHS).zip(&reports) {
         let oc = &r.cores[0].offchip;
         let issued: u64 = oc.issued_outcome.iter().sum();
         let correct = oc.issued_outcome[Level::Dram.index()];

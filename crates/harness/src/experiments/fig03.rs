@@ -7,7 +7,7 @@ use crate::runner::Harness;
 use crate::scheme::{L1Pf, Scheme};
 use tlp_trace::emit::Suite;
 
-use super::{mean_summaries, pct_delta};
+use super::{mean_summaries, pct_delta, plan_mix_cells};
 
 /// Runs the experiment.
 #[must_use]
@@ -19,18 +19,22 @@ pub fn run(h: &Harness) -> ExperimentResult {
     );
     let columns = vec!["Hermes".to_string()];
     let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
-    let rows = h.parallel_map(mixes, |m| {
-        let base = h.run_mix(&m.workloads, Scheme::Baseline, L1Pf::Ipcp, None);
-        let hermes = h.run_mix(&m.workloads, Scheme::Hermes, L1Pf::Ipcp, None);
-        let delta = pct_delta(
-            hermes.dram_transactions() as f64,
-            base.dram_transactions() as f64,
-        );
-        (
-            m.suite,
-            Row::new(m.name.clone(), vec![("Hermes".into(), delta)]),
-        )
-    });
+    plan_mix_cells(h, &mixes, &[Scheme::Hermes], L1Pf::Ipcp, None, None);
+    let rows: Vec<_> = mixes
+        .iter()
+        .map(|m| {
+            let base = h.run_mix(&m.workloads, Scheme::Baseline, L1Pf::Ipcp, None);
+            let hermes = h.run_mix(&m.workloads, Scheme::Hermes, L1Pf::Ipcp, None);
+            let delta = pct_delta(
+                hermes.dram_transactions() as f64,
+                base.dram_transactions() as f64,
+            );
+            (
+                m.suite,
+                Row::new(m.name.clone(), vec![("Hermes".into(), delta)]),
+            )
+        })
+        .collect();
     result.summary = mean_summaries(&rows, &columns);
     result.rows = rows.into_iter().map(|(_, r)| r).collect();
     result

@@ -9,7 +9,7 @@ use crate::runner::{geomean_speedup_percent, Harness};
 use crate::scheme::{L1Pf, Scheme};
 
 use super::fig13::SINGLE_GBPS;
-use super::pct_delta;
+use super::{pct_delta, plan_mix_cells};
 
 /// Runs the experiment.
 #[must_use]
@@ -25,19 +25,23 @@ pub fn run(h: &Harness) -> ExperimentResult {
         .map(|&v| Scheme::Variant(v))
         .collect();
     let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
-    let per_mix = h.parallel_map(mixes, |m| {
-        let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
-        let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, SINGLE_GBPS);
-        let values: Vec<(String, f64)> = schemes
-            .iter()
-            .map(|&s| {
-                let r = h.run_mix(&m.workloads, s, l1pf, None);
-                let ws = h.weighted_ipc(&m.workloads, &r, s, l1pf, SINGLE_GBPS);
-                (s.name().to_string(), pct_delta(ws, base_ws))
-            })
-            .collect();
-        Row::new(m.name.clone(), values)
-    });
+    plan_mix_cells(h, &mixes, &schemes, l1pf, None, Some(SINGLE_GBPS));
+    let per_mix: Vec<Row> = mixes
+        .iter()
+        .map(|m| {
+            let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
+            let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, SINGLE_GBPS);
+            let values: Vec<(String, f64)> = schemes
+                .iter()
+                .map(|&s| {
+                    let r = h.run_mix(&m.workloads, s, l1pf, None);
+                    let ws = h.weighted_ipc(&m.workloads, &r, s, l1pf, SINGLE_GBPS);
+                    (s.name().to_string(), pct_delta(ws, base_ws))
+                })
+                .collect();
+            Row::new(m.name.clone(), values)
+        })
+        .collect();
     // Summary: one geomean per variant, in the paper's order.
     let mut values = Vec::new();
     for s in &schemes {

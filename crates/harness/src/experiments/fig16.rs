@@ -7,7 +7,7 @@ use crate::report::{ExperimentResult, Row};
 use crate::runner::{geomean_speedup_percent, mean, Harness};
 use crate::scheme::{L1Pf, Scheme};
 
-use super::pct_delta;
+use super::{pct_delta, plan_mix_cells};
 
 /// The sweep points (GB/s per core).
 pub const BANDWIDTHS: [f64; 5] = [1.6, 3.2, 6.4, 12.8, 25.6];
@@ -33,20 +33,24 @@ pub fn run(h: &Harness) -> ExperimentResult {
     ];
     let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
     for bw in BANDWIDTHS {
-        let per_mix = h.parallel_map(mixes.clone(), |m| {
-            let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, Some(bw));
-            let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, bw * 4.0);
-            let base_txn = base.dram_transactions() as f64;
-            let mut speedups = Vec::new();
-            let mut deltas = Vec::new();
-            for &s in &schemes {
-                let r = h.run_mix(&m.workloads, s, l1pf, Some(bw));
-                let ws = h.weighted_ipc(&m.workloads, &r, s, l1pf, bw * 4.0);
-                speedups.push(pct_delta(ws, base_ws));
-                deltas.push(pct_delta(r.dram_transactions() as f64, base_txn));
-            }
-            (speedups, deltas)
-        });
+        plan_mix_cells(h, &mixes, &schemes, l1pf, Some(bw), Some(bw * 4.0));
+        let per_mix: Vec<_> = mixes
+            .iter()
+            .map(|m| {
+                let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, Some(bw));
+                let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, bw * 4.0);
+                let base_txn = base.dram_transactions() as f64;
+                let mut speedups = Vec::new();
+                let mut deltas = Vec::new();
+                for &s in &schemes {
+                    let r = h.run_mix(&m.workloads, s, l1pf, Some(bw));
+                    let ws = h.weighted_ipc(&m.workloads, &r, s, l1pf, bw * 4.0);
+                    speedups.push(pct_delta(ws, base_ws));
+                    deltas.push(pct_delta(r.dram_transactions() as f64, base_txn));
+                }
+                (speedups, deltas)
+            })
+            .collect();
         let mut values = Vec::new();
         for (i, s) in schemes.iter().enumerate() {
             let sp: Vec<f64> = per_mix.iter().map(|(a, _)| a[i]).collect();

@@ -47,22 +47,42 @@ pub fn run(h: &Harness, l1pf: L1Pf) -> ExperimentResult {
         ],
     ));
 
-    // Multi-core.
+    // Multi-core. The enhanced designs vary the prefetcher as well as the
+    // scheme, so the cell grid is planned explicitly.
     let mixes = generate_mixes(&h.active_workloads(), h.rc.mixes_per_suite / 2 + 1);
-    let per_mix = h.parallel_map(mixes, |m| {
-        let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
-        let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, SINGLE_GBPS);
-        let ws_of = |scheme: Scheme, pf: L1Pf| {
-            let r = h.run_mix(&m.workloads, scheme, pf, None);
-            let ws = h.weighted_ipc(&m.workloads, &r, scheme, pf, SINGLE_GBPS);
-            pct_delta(ws, base_ws)
-        };
-        (
-            ws_of(Scheme::Baseline, extra_pf),
-            ws_of(Scheme::HermesExtra, l1pf),
-            ws_of(Scheme::Tlp, l1pf),
-        )
-    });
+    let grid: [(Scheme, L1Pf); 4] = [
+        (Scheme::Baseline, l1pf),
+        (Scheme::Baseline, extra_pf),
+        (Scheme::HermesExtra, l1pf),
+        (Scheme::Tlp, l1pf),
+    ];
+    let mut cells = Vec::new();
+    for m in &mixes {
+        for &(scheme, pf) in &grid {
+            cells.push(h.cell_mix(&m.workloads, scheme, pf, None));
+            for w in &m.workloads {
+                cells.push(h.cell_single(w, scheme, pf, Some(SINGLE_GBPS)));
+            }
+        }
+    }
+    h.run_cells(cells);
+    let per_mix: Vec<_> = mixes
+        .iter()
+        .map(|m| {
+            let base = h.run_mix(&m.workloads, Scheme::Baseline, l1pf, None);
+            let base_ws = h.weighted_ipc(&m.workloads, &base, Scheme::Baseline, l1pf, SINGLE_GBPS);
+            let ws_of = |scheme: Scheme, pf: L1Pf| {
+                let r = h.run_mix(&m.workloads, scheme, pf, None);
+                let ws = h.weighted_ipc(&m.workloads, &r, scheme, pf, SINGLE_GBPS);
+                pct_delta(ws, base_ws)
+            };
+            (
+                ws_of(Scheme::Baseline, extra_pf),
+                ws_of(Scheme::HermesExtra, l1pf),
+                ws_of(Scheme::Tlp, l1pf),
+            )
+        })
+        .collect();
     let col = |f: fn(&(f64, f64, f64)) -> f64| -> Vec<f64> { per_mix.iter().map(f).collect() };
     result.rows.push(Row::new(
         "multi-core",

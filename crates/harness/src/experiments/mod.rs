@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use tlp_trace::emit::{Suite, Workload};
 
+use crate::mix::Mix;
 use crate::report::Row;
 use crate::runner::{geomean_speedup_percent, mean, Harness};
 use crate::scheme::{L1Pf, Scheme};
@@ -42,9 +43,14 @@ pub(crate) fn pct_delta(new: f64, base: f64) -> f64 {
     (new / base - 1.0) * 100.0
 }
 
-/// Runs `schemes` (plus `Baseline`) over the active workload set in
-/// parallel, returning `(workload, suite, per-scheme reports)` where index
+/// Runs `schemes` (plus `Baseline`) over the active workload set through
+/// the run engine, returning `(workload, per-scheme reports)` where index
 /// 0 is always the baseline.
+///
+/// The whole (workload × scheme) grid is submitted as one deduplicated
+/// batch — cells another experiment already simulated come from the cache
+/// — and collection is sequential over cache hits, so the result is
+/// independent of thread count.
 pub(crate) fn sweep_single_core(
     h: &Harness,
     schemes: &[Scheme],
@@ -53,10 +59,50 @@ pub(crate) fn sweep_single_core(
     let workloads = h.active_workloads();
     let mut all = vec![Scheme::Baseline];
     all.extend_from_slice(schemes);
-    h.parallel_map(workloads, |w| {
-        let reports = all.iter().map(|&s| h.run_single(w, s, l1pf)).collect();
-        (w.clone(), reports)
-    })
+    h.run_cells(
+        workloads
+            .iter()
+            .flat_map(|w| all.iter().map(|&s| h.cell_single(w, s, l1pf, None)))
+            .collect(),
+    );
+    workloads
+        .into_iter()
+        .map(|w| {
+            let reports = all.iter().map(|&s| h.run_single(&w, s, l1pf)).collect();
+            (w, reports)
+        })
+        .collect()
+}
+
+/// Submits the full (mix × scheme) grid of a multi-core experiment to the
+/// run engine in one deduplicated batch: every mix cell at bandwidth
+/// `gbps`, plus — when `single_gbps` is given — the per-workload isolation
+/// cells that [`Harness::weighted_ipc`] needs. `Baseline` is always
+/// planned in addition to `schemes` (like [`sweep_single_core`]), since
+/// every collection loop compares against it. After this returns, the
+/// experiment's collection loop runs entirely on cache hits.
+pub(crate) fn plan_mix_cells(
+    h: &Harness,
+    mixes: &[Mix],
+    schemes: &[Scheme],
+    l1pf: L1Pf,
+    gbps: Option<f64>,
+    single_gbps: Option<f64>,
+) {
+    let mut all = vec![Scheme::Baseline];
+    all.extend_from_slice(schemes);
+    let mut cells = Vec::new();
+    for m in mixes {
+        for &s in &all {
+            cells.push(h.cell_mix(&m.workloads, s, l1pf, gbps));
+            if let Some(bw) = single_gbps {
+                for w in &m.workloads {
+                    cells.push(h.cell_single(w, s, l1pf, Some(bw)));
+                }
+            }
+        }
+    }
+    h.run_cells(cells);
 }
 
 /// Appends SPEC / GAP / ALL summary rows to per-workload rows.

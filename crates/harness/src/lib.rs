@@ -18,11 +18,13 @@
 //! println!("{}", result.render());
 //! ```
 
+pub mod cache;
 pub mod experiments;
 pub mod mix;
 pub mod report;
 pub mod runner;
 pub mod scheme;
 
-pub use runner::{Harness, RunConfig};
+pub use cache::{EngineStats, RunKey};
+pub use runner::{Harness, RunCell, RunConfig};
 pub use scheme::{L1Pf, Scheme, TlpParams};

@@ -1,7 +1,16 @@
-//! The run orchestrator: trace capture/caching, system assembly, parallel
-//! sweeps, and the single-core IPC cache that weighted speedup needs.
+//! The run engine: trace capture/caching, system assembly, and the
+//! sharded execution of simulation cells over the content-addressed
+//! result cache in [`crate::cache`].
+//!
+//! Experiments describe the grid cells they need as [`RunCell`]s and
+//! submit them through [`Harness::run_cells`]; the engine deduplicates the
+//! batch, answers what it can from the cache, and simulates the rest on a
+//! self-scheduling worker pool. Collection then happens sequentially
+//! through the cached getters ([`Harness::run_single`],
+//! [`Harness::run_mix`], ...), so results are bit-identical regardless of
+//! thread count or cache state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -12,6 +21,7 @@ use tlp_trace::catalog::{self, Scale};
 use tlp_trace::emit::Workload;
 use tlp_trace::{TraceRecord, VecTrace};
 
+use crate::cache::{self, DiskCache, EngineStats, ResultCache, RunKey};
 use crate::scheme::{L1Pf, Scheme};
 
 /// Simulation budgets and scale for a harness session.
@@ -72,18 +82,79 @@ impl RunConfig {
     }
 }
 
+/// Worker-thread default: the `TLP_THREADS` environment variable when set
+/// (CI pins the test matrix with it), else the machine's parallelism.
 fn available_threads() -> usize {
+    if let Some(n) = std::env::var("TLP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
-/// The harness: cached traces, cached single-core IPCs, and run helpers.
+/// One simulation cell of the evaluation grid: a content-addressed key, a
+/// human-readable label (for scheduling diagnostics and panic messages),
+/// and everything needed to simulate the cell on a cache miss.
+pub struct RunCell {
+    key: RunKey,
+    label: String,
+    kind: CellKind,
+}
+
+enum CellKind {
+    Single {
+        workload: Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    },
+    Mix {
+        workloads: [Arc<dyn Workload>; 4],
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    },
+    Custom {
+        workload: Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        cfg: Box<SystemConfig>,
+    },
+}
+
+impl RunCell {
+    /// The cell's content-addressed key.
+    #[must_use]
+    pub fn key(&self) -> RunKey {
+        self.key
+    }
+
+    /// The cell's display label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for RunCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCell")
+            .field("key", &self.key.hex())
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The harness: cached traces, the two-tier result cache, and run helpers.
 pub struct Harness {
     /// The active run configuration.
     pub rc: RunConfig,
     workloads: Vec<Arc<dyn Workload>>,
     traces: RwLock<HashMap<String, Arc<Vec<TraceRecord>>>>,
-    ipc_cache: RwLock<HashMap<String, f64>>,
-    report_cache: RwLock<HashMap<String, SimReport>>,
+    cache: ResultCache,
 }
 
 impl std::fmt::Debug for Harness {
@@ -97,16 +168,33 @@ impl std::fmt::Debug for Harness {
 
 impl Harness {
     /// Builds the harness and the 55-workload catalog at the configured
-    /// scale.
+    /// scale, with a memory-only result cache.
     #[must_use]
     pub fn new(rc: RunConfig) -> Self {
         Self {
             rc,
             workloads: catalog::single_core_set(rc.scale),
             traces: RwLock::new(HashMap::new()),
-            ipc_cache: RwLock::new(HashMap::new()),
-            report_cache: RwLock::new(HashMap::new()),
+            cache: ResultCache::in_memory(),
         }
+    }
+
+    /// Adds the on-disk cache tier under `dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.cache = ResultCache::with_disk(DiskCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// Snapshot of the run-engine counters (requests, hits per tier,
+    /// simulations, batch dedup).
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.cache.stats()
     }
 
     /// The single-core workload set (SPEC first, then GAP).
@@ -176,6 +264,256 @@ impl Harness {
         VecTrace::looping(name, recs.as_ref().clone())
     }
 
+    /// The run-budget fragment of every cell description: anything here
+    /// changes simulation results, so it is part of the content address.
+    fn env_desc(&self) -> String {
+        format!(
+            "{:?}|w{}|i{}",
+            self.rc.scale, self.rc.warmup, self.rc.instructions
+        )
+    }
+
+    /// Describes a single-core cell.
+    #[must_use]
+    pub fn cell_single(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    ) -> RunCell {
+        let desc = cache::single_desc(
+            &self.env_desc(),
+            w.name(),
+            &scheme.key(),
+            l1pf.name(),
+            &cache::bandwidth_desc(gbps),
+        );
+        RunCell {
+            key: RunKey::from_desc(&desc),
+            label: desc,
+            kind: CellKind::Single {
+                workload: Arc::clone(w),
+                scheme,
+                l1pf,
+                gbps,
+            },
+        }
+    }
+
+    /// Describes a 4-core mix cell.
+    #[must_use]
+    pub fn cell_mix(
+        &self,
+        ws: &[Arc<dyn Workload>; 4],
+        scheme: Scheme,
+        l1pf: L1Pf,
+        gbps: Option<f64>,
+    ) -> RunCell {
+        let desc = cache::mix_desc(
+            &self.env_desc(),
+            [ws[0].name(), ws[1].name(), ws[2].name(), ws[3].name()],
+            &scheme.key(),
+            l1pf.name(),
+            &cache::bandwidth_desc(gbps),
+        );
+        RunCell {
+            key: RunKey::from_desc(&desc),
+            label: desc,
+            kind: CellKind::Mix {
+                workloads: ws.clone(),
+                scheme,
+                l1pf,
+                gbps,
+            },
+        }
+    }
+
+    /// Describes a single-core cell under an explicit [`SystemConfig`].
+    /// `tag` names the config deviation (e.g. the LLC replacement policy)
+    /// for display; the key additionally folds in a digest of the full
+    /// config, so two calls reusing a tag with different hardware can
+    /// never alias — the address stays content-based even across the
+    /// persistent disk tier.
+    #[must_use]
+    pub fn cell_custom(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        cfg: SystemConfig,
+        tag: &str,
+    ) -> RunCell {
+        let cfg_digest = RunKey::from_desc(&format!("{cfg:?}")).hex();
+        let desc = cache::custom_desc(
+            &self.env_desc(),
+            w.name(),
+            &scheme.key(),
+            l1pf.name(),
+            &format!("{tag}#{cfg_digest}"),
+        );
+        RunCell {
+            key: RunKey::from_desc(&desc),
+            label: desc,
+            kind: CellKind::Custom {
+                workload: Arc::clone(w),
+                scheme,
+                l1pf,
+                cfg: Box::new(cfg),
+            },
+        }
+    }
+
+    /// Simulates one cell from scratch (no cache involvement). Each cell
+    /// is a deterministic, single-threaded simulation, which is what makes
+    /// content addressing and thread-count invariance sound.
+    fn simulate(&self, kind: &CellKind) -> SimReport {
+        match kind {
+            CellKind::Single {
+                workload,
+                scheme,
+                l1pf,
+                gbps,
+            } => {
+                let cfg = match gbps {
+                    Some(b) => SystemConfig::cascade_lake_with_bandwidth(1, *b),
+                    None => SystemConfig::cascade_lake(1),
+                };
+                let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
+                System::new(cfg, vec![setup]).run(self.rc.warmup, self.rc.instructions)
+            }
+            CellKind::Mix {
+                workloads,
+                scheme,
+                l1pf,
+                gbps,
+            } => {
+                let cfg = match gbps {
+                    Some(b) => SystemConfig::cascade_lake_with_bandwidth(4, *b),
+                    None => SystemConfig::cascade_lake(4),
+                };
+                let setups = workloads
+                    .iter()
+                    .map(|w| scheme.build_setup(Box::new(self.trace_for(w)), *l1pf))
+                    .collect();
+                System::new(cfg, setups).run(self.rc.warmup, self.rc.instructions)
+            }
+            CellKind::Custom {
+                workload,
+                scheme,
+                l1pf,
+                cfg,
+            } => {
+                let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
+                System::new((**cfg).clone(), vec![setup]).run(self.rc.warmup, self.rc.instructions)
+            }
+        }
+    }
+
+    /// Runs one cell through the cache: hit in a tier, or simulate and
+    /// fill both tiers.
+    pub fn run_cell(&self, cell: &RunCell) -> SimReport {
+        (*self.run_cell_arc(cell)).clone()
+    }
+
+    /// [`Harness::run_cell`] without the defensive clone — the shared
+    /// in-cache report, for hot collection paths that only read a field.
+    /// A miss here means the cell was never planned into a
+    /// [`Harness::run_cells`] batch: it still simulates correctly, but
+    /// single-threaded on the caller, so it is flagged in the engine
+    /// stats (`inline=` in the summary line).
+    fn run_cell_arc(&self, cell: &RunCell) -> Arc<SimReport> {
+        if let Some(r) = self.cache.lookup(cell.key) {
+            return r;
+        }
+        let report = self.simulate(&cell.kind);
+        self.cache.note_inline_simulated();
+        self.cache.insert_simulated(cell.key, report)
+    }
+
+    /// A content-addressed key for one step of a *stateful* simulation
+    /// sequence (e.g. a persistent-agent learning-curve epoch), run
+    /// through [`Harness::run_sequence`]. `step` must uniquely identify
+    /// the position and nature of the step within the sequence.
+    #[must_use]
+    pub fn sequence_key(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        step: &str,
+    ) -> RunKey {
+        RunKey::from_desc(&cache::custom_desc(
+            &self.env_desc(),
+            w.name(),
+            &scheme.key(),
+            l1pf.name(),
+            &format!("seq:{step}"),
+        ))
+    }
+
+    /// Runs a sequence of cells whose simulations are stateful across the
+    /// sequence (later steps depend on state accumulated by earlier ones,
+    /// so a step can never be simulated standalone). Caching is therefore
+    /// all-or-nothing: if every key hits, the cached reports are returned
+    /// and nothing is simulated; otherwise `simulate_all` re-runs the
+    /// whole sequence and every step is stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `simulate_all` returns a different number of reports
+    /// than `keys`.
+    pub fn run_sequence<F>(&self, keys: &[RunKey], simulate_all: F) -> Vec<SimReport>
+    where
+        F: FnOnce() -> Vec<SimReport>,
+    {
+        let cached: Vec<Option<Arc<SimReport>>> =
+            keys.iter().map(|&k| self.cache.lookup(k)).collect();
+        if cached.iter().all(Option::is_some) {
+            return cached
+                .into_iter()
+                .map(|r| (*r.expect("checked above")).clone())
+                .collect();
+        }
+        let reports = simulate_all();
+        assert_eq!(
+            reports.len(),
+            keys.len(),
+            "simulate_all must produce one report per sequence key"
+        );
+        for (&k, r) in keys.iter().zip(&reports) {
+            self.cache.insert_simulated(k, r.clone());
+        }
+        reports
+    }
+
+    /// Submits a batch of cells to the engine: duplicates are coalesced,
+    /// cached cells are skipped, and the remainder is simulated on a
+    /// self-scheduling pool of `rc.threads` workers, each claiming the
+    /// next unclaimed cell of the deduplicated grid. Every unique cell is
+    /// simulated at most once per cache lifetime.
+    pub fn run_cells(&self, cells: Vec<RunCell>) {
+        let mut seen = HashSet::new();
+        let mut todo = Vec::new();
+        for cell in cells {
+            if !seen.insert(cell.key) {
+                self.cache.note_deduped(1);
+                continue;
+            }
+            if self.cache.lookup(cell.key).is_none() {
+                todo.push(cell);
+            }
+        }
+        self.parallel_map_labeled(
+            todo,
+            |cell, _| cell.label.clone(),
+            |cell| {
+                let report = self.simulate(&cell.kind);
+                self.cache.insert_simulated(cell.key, report);
+            },
+        );
+    }
+
     /// Runs one single-core simulation (cached per workload/scheme/l1pf).
     #[must_use]
     pub fn run_single(&self, w: &Arc<dyn Workload>, scheme: Scheme, l1pf: L1Pf) -> SimReport {
@@ -192,25 +530,7 @@ impl Harness {
         l1pf: L1Pf,
         gbps: Option<f64>,
     ) -> SimReport {
-        let key = format!(
-            "1c|{}|{}|{}|{:?}",
-            w.name(),
-            scheme.key(),
-            l1pf.name(),
-            gbps
-        );
-        if let Some(r) = self.report_cache.read().get(&key) {
-            return r.clone();
-        }
-        let cfg = match gbps {
-            Some(b) => SystemConfig::cascade_lake_with_bandwidth(1, b),
-            None => SystemConfig::cascade_lake(1),
-        };
-        let setup = scheme.build_setup(Box::new(self.trace_for(w)), l1pf);
-        let mut sys = System::new(cfg, vec![setup]);
-        let report = sys.run(self.rc.warmup, self.rc.instructions);
-        self.report_cache.write().insert(key, report.clone());
-        report
+        self.run_cell(&self.cell_single(w, scheme, l1pf, gbps))
     }
 
     /// Runs one single-core simulation under an explicit [`SystemConfig`]
@@ -225,15 +545,7 @@ impl Harness {
         cfg: SystemConfig,
         tag: &str,
     ) -> SimReport {
-        let key = format!("1c|{}|{}|{}|cfg:{tag}", w.name(), scheme.key(), l1pf.name());
-        if let Some(r) = self.report_cache.read().get(&key) {
-            return r.clone();
-        }
-        let setup = scheme.build_setup(Box::new(self.trace_for(w)), l1pf);
-        let mut sys = System::new(cfg, vec![setup]);
-        let report = sys.run(self.rc.warmup, self.rc.instructions);
-        self.report_cache.write().insert(key, report.clone());
-        report
+        self.run_cell(&self.cell_custom(w, scheme, l1pf, cfg, tag))
     }
 
     /// Runs one 4-core mix (cached per mix/scheme/l1pf/bandwidth).
@@ -245,45 +557,15 @@ impl Harness {
         l1pf: L1Pf,
         gbps: Option<f64>,
     ) -> SimReport {
-        let key = format!(
-            "4c|{}+{}+{}+{}|{}|{}|{:?}",
-            ws[0].name(),
-            ws[1].name(),
-            ws[2].name(),
-            ws[3].name(),
-            scheme.key(),
-            l1pf.name(),
-            gbps
-        );
-        if let Some(r) = self.report_cache.read().get(&key) {
-            return r.clone();
-        }
-        let cfg = match gbps {
-            Some(b) => SystemConfig::cascade_lake_with_bandwidth(4, b),
-            None => SystemConfig::cascade_lake(4),
-        };
-        let setups = ws
-            .iter()
-            .map(|w| scheme.build_setup(Box::new(self.trace_for(w)), l1pf))
-            .collect();
-        let mut sys = System::new(cfg, setups);
-        let report = sys.run(self.rc.warmup, self.rc.instructions);
-        self.report_cache.write().insert(key, report.clone());
-        report
+        self.run_cell(&self.cell_mix(ws, scheme, l1pf, gbps))
     }
 
     /// Cached single-core IPC of `w` under `scheme` (isolation run on the
     /// multi-core per-core bandwidth), as weighted speedup requires.
     #[must_use]
     pub fn single_ipc(&self, w: &Arc<dyn Workload>, scheme: Scheme, l1pf: L1Pf, gbps: f64) -> f64 {
-        let key = format!("{}|{}|{}|{gbps}", w.name(), scheme.key(), l1pf.name());
-        if let Some(&ipc) = self.ipc_cache.read().get(&key) {
-            return ipc;
-        }
-        let report = self.run_single_with_bandwidth(w, scheme, l1pf, Some(gbps));
-        let ipc = report.ipc();
-        self.ipc_cache.write().insert(key, ipc);
-        ipc
+        self.run_cell_arc(&self.cell_single(w, scheme, l1pf, Some(gbps)))
+            .ipc()
     }
 
     /// Weighted speedup of a mix report relative to per-workload isolation
@@ -311,21 +593,55 @@ impl Harness {
     }
 
     /// Maps `f` over `items` on the configured number of worker threads,
-    /// preserving order.
+    /// preserving order. A panicking closure re-panics on the caller with
+    /// the item's index in the message.
     pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.parallel_map_labeled(items, |_, i| format!("item {i}"), f)
+    }
+
+    /// [`Harness::parallel_map`] with a caller-provided label per item: a
+    /// panicking closure re-panics on the caller with the failing item's
+    /// label, so a dead cell in a thousand-cell grid is identifiable.
+    pub fn parallel_map_labeled<T, R, F, L>(&self, items: Vec<T>, label: L, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        L: Fn(&T, usize) -> String,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
         let threads = self.rc.threads.max(1);
-        if threads == 1 || items.len() <= 1 {
-            return items.iter().map(&f).collect();
-        }
         let n = items.len();
+        let run_one = |i: usize| -> Result<R, String> {
+            catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+                .map_err(|payload| panic_message(payload.as_ref()))
+        };
+        let fail = |i: usize, msg: &str| {
+            panic!(
+                "worker panicked on {} ({} of {n}): {msg}",
+                label(&items[i], i),
+                i + 1
+            )
+        };
+        if threads == 1 || n <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match run_one(i) {
+                    Ok(r) => out.push(r),
+                    Err(msg) => fail(i, &msg),
+                }
+            }
+            return out;
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-        let (items_ref, f_ref, next_ref) = (&items, &f, &next);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<R, String>)>();
+        let (run_ref, next_ref) = (&run_one, &next);
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads.min(n) {
                 let tx = tx.clone();
@@ -334,23 +650,46 @@ impl Harness {
                     if i >= n {
                         break;
                     }
-                    let r = f_ref(&items_ref[i]);
-                    if tx.send((i, r)).is_err() {
+                    if tx.send((i, run_ref(i))).is_err() {
                         break;
                     }
                 });
             }
         })
-        .expect("worker panicked");
+        .expect("worker thread died outside the panic guard");
         drop(tx);
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut failure: Option<(usize, String)> = None;
         while let Ok((i, r)) = rx.recv() {
-            results[i] = Some(r);
+            match r {
+                Ok(v) => results[i] = Some(v),
+                Err(msg) => {
+                    // Keep the lowest-index failure for a deterministic
+                    // message when several workers panic.
+                    if failure.as_ref().is_none_or(|(j, _)| i < *j) {
+                        failure = Some((i, msg));
+                    }
+                }
+            }
+        }
+        if let Some((i, msg)) = failure {
+            fail(i, &msg);
         }
         results
             .into_iter()
             .map(|r| r.expect("every index produced"))
             .collect()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -401,6 +740,29 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "worker panicked on item 13 (14 of 32): boom at 13")]
+    fn parallel_map_panic_names_the_failing_item() {
+        let h = Harness::new(RunConfig::test());
+        let _ = h.parallel_map((0..32).collect(), |&x: &i32| {
+            assert!(x != 13, "boom at {x}");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked on cell doomed-cell")]
+    fn labeled_panic_carries_the_cell_label() {
+        let mut rc = RunConfig::test();
+        rc.threads = 1; // Exercise the sequential path's guard too.
+        let h = Harness::new(rc);
+        let _ = h.parallel_map_labeled(
+            vec!["ok", "doomed", "ok"],
+            |item, _| format!("cell {item}-cell"),
+            |item| assert!(*item != "doomed", "poof"),
+        );
+    }
+
+    #[test]
     fn trace_cache_returns_identical_traces() {
         let h = Harness::new(RunConfig::test());
         let w = &h.workloads()[0].clone();
@@ -419,5 +781,70 @@ mod tests {
         assert_eq!(sub.len(), 4);
         let suites: std::collections::HashSet<_> = sub.iter().map(|w| w.suite()).collect();
         assert_eq!(suites.len(), 2);
+    }
+
+    #[test]
+    fn cell_keys_separate_every_grid_axis() {
+        let h = Harness::new(RunConfig::test());
+        let w = h.workloads()[0].clone();
+        let v = h.workloads()[1].clone();
+        let cells = [
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None),
+            h.cell_single(&v, Scheme::Baseline, L1Pf::Ipcp, None),
+            h.cell_single(&w, Scheme::Tlp, L1Pf::Ipcp, None),
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Berti, None),
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, Some(12.8)),
+            h.cell_mix(
+                &[w.clone(), w.clone(), w.clone(), w.clone()],
+                Scheme::Baseline,
+                L1Pf::Ipcp,
+                None,
+            ),
+            h.cell_custom(
+                &w,
+                Scheme::Baseline,
+                L1Pf::Ipcp,
+                SystemConfig::cascade_lake(1),
+                "lru",
+            ),
+        ];
+        let keys: HashSet<RunKey> = cells.iter().map(RunCell::key).collect();
+        assert_eq!(keys.len(), cells.len(), "every axis must change the key");
+    }
+
+    #[test]
+    fn cell_keys_depend_on_the_run_budget() {
+        let h1 = Harness::new(RunConfig::test());
+        let mut rc = RunConfig::test();
+        rc.instructions += 1;
+        let h2 = Harness::new(rc);
+        let w = h1.workloads()[0].clone();
+        assert_ne!(
+            h1.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None).key(),
+            h2.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None).key(),
+        );
+    }
+
+    #[test]
+    fn run_cells_deduplicates_and_fills_the_cache() {
+        let mut rc = RunConfig::test();
+        rc.warmup = 1_000;
+        rc.instructions = 4_000;
+        let h = Harness::new(rc);
+        let w = h.workloads()[0].clone();
+        let batch = vec![
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None),
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None),
+            h.cell_single(&w, Scheme::Baseline, L1Pf::Ipcp, None),
+        ];
+        h.run_cells(batch);
+        let st = h.engine_stats();
+        assert_eq!(st.simulated, 1, "triplicate cell simulates once");
+        assert_eq!(st.deduped, 2);
+        // Collection is a pure cache hit.
+        let _ = h.run_single(&w, Scheme::Baseline, L1Pf::Ipcp);
+        let st = h.engine_stats();
+        assert_eq!(st.simulated, 1);
+        assert_eq!(st.mem_hits, 1);
     }
 }

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod hooks;
 pub mod replacement;
 pub mod request;
+pub mod serial;
 pub mod stats;
 pub mod types;
 pub mod victim;

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Victim-cache counters.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VictimStats {
     /// LLC misses that hit in the victim cache (DRAM reads avoided).
     pub hits: u64,

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates the golden-report regression fixtures under
+# crates/harness/tests/golden/ after an *intentional* behavior change.
+#
+# Usage: scripts/update-golden.sh
+#
+# Commit the resulting fixture diff together with the change that moved
+# the numbers, and explain in the commit message why they moved — the
+# fixtures exist so results can never drift silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE_GOLDEN=1 cargo test -q -p tlp_harness --test golden
+echo "Updated fixtures:"
+git status --short crates/harness/tests/golden/

@@ -1,0 +1,150 @@
+//! Determinism pins for the run engine: results must be bit-identical
+//! regardless of worker-thread count and cache state (cold memory, warm
+//! memory, cold disk, warm disk). Every other guarantee of the engine —
+//! content addressing, cross-experiment reuse, golden fixtures — rests on
+//! this property.
+
+use std::path::PathBuf;
+
+use tlp::harness::experiments::{ext07_rl, fig01, fig03};
+use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
+
+/// Small but non-trivial budget: one workload per suite, four 4-core
+/// mixes, enough instructions to exercise prefetchers and the off-chip
+/// predictors. (These tests run in debug, so every simulated instruction
+/// counts.)
+fn rc_with_threads(threads: usize) -> RunConfig {
+    let mut rc = RunConfig::test();
+    rc.warmup = 1_000;
+    rc.instructions = 5_000;
+    rc.workloads_per_suite = Some(1);
+    rc.mixes_per_suite = 1;
+    rc.threads = threads;
+    rc
+}
+
+fn tmp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tlp-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Tlp, Scheme::AthenaRl];
+
+#[test]
+fn single_cell_reports_are_field_identical_across_thread_counts() {
+    let h1 = Harness::new(rc_with_threads(1));
+    let h8 = Harness::new(rc_with_threads(8));
+    // Simulate the whole grid through each engine first — sequentially on
+    // h1, on the 8-worker pool on h8 — so the comparison below actually
+    // pits the pooled execution against the serial one.
+    for h in [&h1, &h8] {
+        let cells = h
+            .active_workloads()
+            .iter()
+            .flat_map(|w| SCHEMES.map(|s| h.cell_single(w, s, L1Pf::Ipcp, None)))
+            .collect();
+        h.run_cells(cells);
+    }
+    for w in h1.active_workloads() {
+        let w8 = h8
+            .active_workloads()
+            .into_iter()
+            .find(|x| x.name() == w.name())
+            .expect("same catalog at both thread counts");
+        for scheme in SCHEMES {
+            let a = h1.run_single(&w, scheme, L1Pf::Ipcp);
+            let b = h8.run_single(&w8, scheme, L1Pf::Ipcp);
+            assert_eq!(a, b, "{} / {scheme:?} differs by thread count", w.name());
+        }
+    }
+    // Collection never simulated inline: the batches covered the grid.
+    assert_eq!(h1.engine_stats().inline_simulated, 0);
+    assert_eq!(h8.engine_stats().inline_simulated, 0);
+}
+
+#[test]
+fn experiment_tables_are_identical_across_thread_counts() {
+    let h1 = Harness::new(rc_with_threads(1));
+    let h8 = Harness::new(rc_with_threads(8));
+    // One single-core sweep and one mix-based experiment...
+    assert_eq!(fig01::run(&h1).render(), fig01::run(&h8).render());
+    assert_eq!(fig03::run(&h1).render(), fig03::run(&h8).render());
+    // ...plus weighted speedup, whose isolation-IPC cells ride the same
+    // engine grid.
+    let mix = tlp::harness::mix::generate_mixes(&h1.active_workloads(), 1)
+        .into_iter()
+        .next()
+        .expect("at least one mix");
+    let r1 = h1.run_mix(&mix.workloads, Scheme::Tlp, L1Pf::Ipcp, None);
+    let r8 = h8.run_mix(&mix.workloads, Scheme::Tlp, L1Pf::Ipcp, None);
+    assert_eq!(r1, r8, "mix report differs by thread count");
+    let w1 = h1.weighted_ipc(&mix.workloads, &r1, Scheme::Tlp, L1Pf::Ipcp, 12.8);
+    let w8 = h8.weighted_ipc(&mix.workloads, &r8, Scheme::Tlp, L1Pf::Ipcp, 12.8);
+    assert!(
+        (w1 - w8).abs() == 0.0,
+        "weighted IPC differs by thread count: {w1} vs {w8}"
+    );
+}
+
+#[test]
+fn warm_disk_cache_reproduces_cold_results_without_simulating() {
+    let dir = tmp_cache_dir("warm");
+
+    // Cold pass: everything is simulated and spilled to disk.
+    let cold = Harness::new(rc_with_threads(4))
+        .with_cache_dir(&dir)
+        .expect("cache dir");
+    let cold_fig01 = fig01::run(&cold);
+    let cold_ext07 = ext07_rl::run(&cold);
+    let cold_stats = cold.engine_stats();
+    assert!(cold_stats.simulated > 0, "cold run must simulate");
+
+    // Warm pass in a fresh harness (fresh memory tier): every cell must
+    // come from disk, and every number must match the cold pass exactly.
+    let warm = Harness::new(rc_with_threads(4))
+        .with_cache_dir(&dir)
+        .expect("cache dir");
+    let warm_fig01 = fig01::run(&warm);
+    let warm_ext07 = ext07_rl::run(&warm);
+    let warm_stats = warm.engine_stats();
+    assert_eq!(warm_stats.simulated, 0, "warm run must not simulate");
+    assert!(warm_stats.disk_hits > 0, "warm run reads the disk tier");
+    assert_eq!(
+        warm_stats.hits(),
+        warm_stats.requested,
+        "warm run is 100% cache hits: {}",
+        warm_stats.summary_line()
+    );
+    assert_eq!(cold_fig01.render(), warm_fig01.render());
+    assert_eq!(cold_ext07.render(), warm_ext07.render());
+
+    // Field-identical reports through the serde round-trip: a cell read
+    // back from disk equals the one simulated in-process.
+    let w = cold.active_workloads()[0].clone();
+    assert_eq!(
+        cold.run_single(&w, Scheme::Tlp, L1Pf::Ipcp),
+        warm.run_single(&w, Scheme::Tlp, L1Pf::Ipcp),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_memory_rerun_of_an_experiment_is_simulation_free() {
+    let h = Harness::new(rc_with_threads(4));
+    let first = fig01::run(&h);
+    let after_first = h.engine_stats().simulated;
+    let second = fig01::run(&h);
+    assert_eq!(
+        h.engine_stats().simulated,
+        after_first,
+        "second in-process run must be pure cache hits"
+    );
+    assert_eq!(
+        h.engine_stats().inline_simulated,
+        0,
+        "fig01 plans its whole grid before collecting"
+    );
+    assert_eq!(first.render(), second.render());
+}

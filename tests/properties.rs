@@ -234,3 +234,199 @@ proptest! {
         prop_assert_eq!(l.op, Op::Load);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Run-engine properties: content addressing and the on-disk cache codec.
+// ---------------------------------------------------------------------------
+
+use tlp::harness::cache::{bandwidth_desc, mix_desc, single_desc, RunKey};
+use tlp::sim::serial::{report_from_json, report_to_json};
+use tlp::sim::stats::{CoreReport, SimReport};
+
+/// The axes a realistic grid cell can vary over, as canonical fragments.
+const SCHEME_KEYS: [&str; 8] = [
+    "Baseline",
+    "PPF",
+    "Hermes",
+    "Hermes+PPF",
+    "TLP",
+    "LP",
+    "AthenaRl",
+    "variant:FLP",
+];
+const L1PFS: [&str; 5] = ["none", "ipcp", "berti", "ipcp+7KB", "next-line"];
+const BANDWIDTHS: [Option<f64>; 6] = [
+    None,
+    Some(1.6),
+    Some(3.2),
+    Some(6.4),
+    Some(12.8),
+    Some(25.6),
+];
+const ENVS: [&str; 3] = [
+    "Tiny|w5000|i25000",
+    "Quick|w20000|i100000",
+    "Full|w200000|i1000000",
+];
+const WORKLOADS: [&str; 4] = ["spec.mcf_06", "spec.lbm_17", "bfs.kron", "sssp.urand"];
+
+fn desc_for(cell: (usize, usize, usize, usize, usize)) -> String {
+    let (e, w, s, p, b) = cell;
+    single_desc(
+        ENVS[e % ENVS.len()],
+        WORKLOADS[w % WORKLOADS.len()],
+        SCHEME_KEYS[s % SCHEME_KEYS.len()],
+        L1PFS[p % L1PFS.len()],
+        &bandwidth_desc(BANDWIDTHS[b % BANDWIDTHS.len()]),
+    )
+}
+
+/// Fills a report with pseudo-random counter values drawn from `vals`.
+fn synth_report(ncores: usize, vals: &[u64]) -> SimReport {
+    let mut it = vals.iter().copied().cycle();
+    let mut next = move || it.next().expect("cycled iterator is infinite");
+    let mut r = SimReport {
+        total_cycles: next(),
+        ..SimReport::default()
+    };
+    let fill_cache = |next: &mut dyn FnMut() -> u64| tlp::sim::stats::CacheStats {
+        demand_hits: next(),
+        demand_misses: next(),
+        prefetch_hits: next(),
+        prefetch_misses: next(),
+        prefetch_fills: next(),
+        prefetch_useful: next(),
+        prefetch_useless: next(),
+        writebacks: next(),
+        mshr_stalls: next(),
+    };
+    let fill_prefetch = |next: &mut dyn FnMut() -> u64| tlp::sim::stats::PrefetchStats {
+        candidates: next(),
+        filtered: next(),
+        dropped: next(),
+        issued: next(),
+        filled_by_level: [next(), next(), next(), next()],
+        useful_by_level: [next(), next(), next(), next()],
+        useless_by_level: [next(), next(), next(), next()],
+    };
+    r.llc = fill_cache(&mut next);
+    r.dram = tlp::sim::stats::DramStats {
+        reads: next(),
+        spec_reads: next(),
+        writes: next(),
+        row_hits: next(),
+        row_conflicts: next(),
+        read_queue_full: next(),
+        spec_dropped: next(),
+        spec_consumed: next(),
+        spec_wasted: next(),
+    };
+    r.victim.hits = next();
+    r.victim.misses = next();
+    r.victim.insertions = next();
+    for i in 0..ncores {
+        let mut c = CoreReport {
+            workload: format!("workload-{i} \"with\" esc\\apes\n{}", next()),
+            ..CoreReport::default()
+        };
+        c.core = tlp::sim::stats::CoreStats {
+            instructions: next(),
+            cycles: next(),
+            loads: next(),
+            stores: next(),
+            branches: next(),
+            mispredicts: next(),
+            dtlb_misses: next(),
+            stlb_misses: next(),
+            store_forwards: next(),
+        };
+        c.l1d = fill_cache(&mut next);
+        c.l2 = fill_cache(&mut next);
+        c.offchip = tlp::sim::stats::OffChipStats {
+            issued_now: next(),
+            tagged_delayed: next(),
+            delayed_issued: next(),
+            predicted_onchip: next(),
+            issued_outcome: [next(), next(), next(), next()],
+            missed_offchip: next(),
+            correct_onchip: next(),
+        };
+        c.l1_prefetch = fill_prefetch(&mut next);
+        c.l2_prefetch = fill_prefetch(&mut next);
+        r.cores.push(c);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Distinct (env, workload, scheme, l1pf, bandwidth) tuples hash to
+    /// distinct RunKeys — the content-addressing soundness property.
+    #[test]
+    fn distinct_cells_hash_to_distinct_keys(
+        a in (0usize..3, 0usize..4, 0usize..8, 0usize..5, 0usize..6),
+        b in (0usize..3, 0usize..4, 0usize..8, 0usize..5, 0usize..6),
+    ) {
+        let (da, db) = (desc_for(a), desc_for(b));
+        if a == b {
+            prop_assert_eq!(RunKey::from_desc(&da), RunKey::from_desc(&db));
+        } else {
+            prop_assert!(
+                RunKey::from_desc(&da) != RunKey::from_desc(&db),
+                "collision between '{}' and '{}'", da, db
+            );
+        }
+    }
+
+    /// Every cell key of the full realistic grid is unique (exhaustive
+    /// pairwise check over 2880 cells, once per run).
+    #[test]
+    fn full_grid_has_no_key_collisions(_nonce in 0u8..1) {
+        let mut keys = std::collections::HashSet::new();
+        let mut cells = 0usize;
+        for e in 0..ENVS.len() {
+            for w in 0..WORKLOADS.len() {
+                for s in 0..SCHEME_KEYS.len() {
+                    for p in 0..L1PFS.len() {
+                        for b in 0..BANDWIDTHS.len() {
+                            keys.insert(RunKey::from_desc(&desc_for((e, w, s, p, b))));
+                            cells += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(keys.len(), cells);
+    }
+
+    /// Mix descriptions are order-sensitive (a mix is not a set: core 0's
+    /// workload matters) and never collide with single-core cells.
+    #[test]
+    fn mix_descs_are_position_sensitive(i in 0usize..4, j in 0usize..4) {
+        let env = ENVS[0];
+        let bw = bandwidth_desc(None);
+        let m1 = mix_desc(env, [WORKLOADS[i], WORKLOADS[j], WORKLOADS[0], WORKLOADS[1]], "TLP", "ipcp", &bw);
+        let m2 = mix_desc(env, [WORKLOADS[j], WORKLOADS[i], WORKLOADS[0], WORKLOADS[1]], "TLP", "ipcp", &bw);
+        if i == j {
+            prop_assert_eq!(&m1, &m2);
+        } else {
+            prop_assert!(m1 != m2);
+        }
+        let s = single_desc(env, WORKLOADS[i], "TLP", "ipcp", &bw);
+        prop_assert!(RunKey::from_desc(&m1) != RunKey::from_desc(&s));
+    }
+
+    /// A SimReport with arbitrary u64 counters round-trips losslessly
+    /// through the on-disk cache format.
+    #[test]
+    fn report_roundtrips_losslessly_through_cache_format(
+        ncores in 1usize..5,
+        vals in proptest::collection::vec(any::<u64>(), 8..64),
+    ) {
+        let report = synth_report(ncores, &vals);
+        let json = report_to_json(&report);
+        let back = report_from_json(&json).expect("cache format decodes");
+        prop_assert_eq!(report, back);
+    }
+}
