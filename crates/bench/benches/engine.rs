@@ -1,0 +1,59 @@
+//! Cycle engine vs. event engine on memory-bound workloads: the same
+//! system simulated under both [`EngineMode`]s, so the wall-time ratio is
+//! exactly the idle-cycle-skipping win (the reports are bit-identical —
+//! `tests/determinism.rs` pins that; this bench only measures).
+//!
+//! `scripts/bench-engine.sh` runs the JSON-emitting race
+//! (`examples/engine_race.rs`); this target keeps the comparison in the
+//! Criterion suite so regressions in either engine show up next to the
+//! other benches.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tlp_harness::{L1Pf, Scheme};
+use tlp_sim::engine::System;
+use tlp_sim::{EngineMode, SystemConfig};
+use tlp_trace::catalog::{self, Scale};
+use tlp_trace::{TraceRecord, VecTrace};
+
+const WARMUP: u64 = 5_000;
+const INSTRUCTIONS: u64 = 30_000;
+
+/// One captured trace per workload, re-wrapped per iteration (capture is
+/// far slower than the simulation at this budget).
+fn capture(name: &str) -> Vec<TraceRecord> {
+    let w = catalog::workload(name, Scale::Quick).expect("workload in catalog");
+    tlp_trace::source::capture(w.as_ref(), (WARMUP + INSTRUCTIONS) as usize + 4096)
+}
+
+fn run(records: &[TraceRecord], name: &str, mode: EngineMode) -> u64 {
+    let trace = VecTrace::new(name, records.to_vec());
+    let setup = Scheme::Baseline.build_setup(Box::new(trace), L1Pf::Ipcp);
+    let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]).with_engine_mode(mode);
+    sys.run(WARMUP, INSTRUCTIONS).total_cycles
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+
+    // A memory-bound SPEC workload (pointer chasing, high off-chip MPKI)
+    // and the most memory-bound GAP workload at this scale: the shapes
+    // where the event engine's idle-cycle skipping matters.
+    for name in ["spec.mcf_06", "bfs.urand"] {
+        let records = capture(name);
+        for mode in EngineMode::ALL {
+            g.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| run(&records, name, mode));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(engine, engine_benches);
+criterion_main!(engine);

@@ -1,0 +1,483 @@
+//! `tlp-events`: a deterministic discrete-event scheduling kernel.
+//!
+//! Everything that evolves over time in a simulated system is modelled as
+//! a [`Component`]: a CPU core front-end, a cache level, a DRAM
+//! controller, a device. Each component knows when it next wants to run
+//! ([`Component::next_tick`]) and how to advance its internal state
+//! ([`Component::tick`]). A global time base in *base cycles* ties the
+//! components together, and an [`EventQueue`] — a binary min-heap keyed by
+//! `(tick, ComponentId)` with stable FIFO tie-breaking, fronted by a
+//! calendar-wheel fast path for near-future events — decides who runs
+//! next.
+//!
+//! The kernel is the substrate of `tlp_sim`'s event engine mode: instead
+//! of advancing every component one cycle at a time, the engine pops the
+//! earliest wake-up from the queue and jumps the clock straight there,
+//! skipping the dead cycles where the whole system is stalled behind a
+//! DRAM access. Determinism is load-bearing: given the same schedule
+//! calls, the pop order is bit-reproducible — same-cycle events pop in
+//! `(ComponentId, insertion order)` — so a simulation driven by the queue
+//! produces identical results on every run.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_events::{Component, Cycle, EventLoop};
+//!
+//! /// A timer that fires every `period` cycles and counts its firings
+//! /// into the shared context.
+//! struct Timer {
+//!     period: Cycle,
+//! }
+//!
+//! impl Component for Timer {
+//!     type Ctx = u64;
+//!     fn next_tick(&self, now: Cycle) -> Option<Cycle> {
+//!         Some(now + self.period)
+//!     }
+//!     fn tick(&mut self, now: Cycle, fired: &mut u64) -> Option<Cycle> {
+//!         *fired += 1;
+//!         Some(now + self.period)
+//!     }
+//! }
+//!
+//! let mut lp = EventLoop::new();
+//! lp.add(Box::new(Timer { period: 10 }));
+//! lp.add(Box::new(Timer { period: 25 }));
+//! let mut fired = 0u64;
+//! lp.run_until(&mut fired, 100);
+//! assert_eq!(fired, 10 + 4); // cycles 10..=100 step 10, 25..=100 step 25
+//! assert_eq!(lp.now(), 100);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The global time base: a count of base clock cycles since reset.
+pub type Cycle = u64;
+
+/// Identity of a scheduled component within one [`EventQueue`] /
+/// [`EventLoop`]. Part of the ordering key: same-cycle events pop in
+/// ascending `ComponentId`, which is how a system encodes its canonical
+/// intra-cycle component order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub u32);
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A piece of simulated hardware that evolves over time.
+///
+/// The contract (the "Execution Engine Architecture" model):
+///
+/// * [`Component::next_tick`] answers *when this component next wants to
+///   be scheduled*, in base cycles, given that no external input arrives
+///   in the meantime. It must be **conservative**: if the component would
+///   change state at cycle `t` when ticked every cycle, `next_tick` must
+///   return a value `<= t`. Waking too early is a wasted (but harmless)
+///   no-op tick; waking too late changes simulated behavior. `None` means
+///   the component sleeps until something external (a message from
+///   another component) re-schedules it.
+/// * [`Component::tick`] advances the component's internal state to
+///   `now`, interacting with the rest of the system through the shared
+///   context `Ctx` (output buffers, buses, the routing fabric — whatever
+///   the embedding system provides), and returns the updated wake-up
+///   time, with the same `None`-means-sleep convention.
+///
+/// Determinism requirement: both methods must be pure functions of the
+/// component state, `now`, and `Ctx` — no wall clock, no ambient
+/// randomness — so that a queue-driven run is bit-reproducible.
+pub trait Component {
+    /// What a tick may read and write besides the component itself.
+    type Ctx;
+
+    /// Earliest future cycle (`> now`) at which this component may change
+    /// state without external input; `None` to sleep until re-scheduled.
+    fn next_tick(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Advances internal state to `now`; returns the new wake-up time.
+    fn tick(&mut self, now: Cycle, ctx: &mut Self::Ctx) -> Option<Cycle>;
+}
+
+/// One scheduled wake-up. Ordering is the queue's pop order: earliest
+/// tick first, then lowest component id, then insertion order (FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    tick: Cycle,
+    id: ComponentId,
+    seq: u64,
+}
+
+/// Default calendar-wheel width (slots): events within this many cycles
+/// of the queue's time floor take the O(1)-insert wheel path; farther
+/// events go to the heap. 64 covers cache latencies and most DRAM bank
+/// timings at CPU-cycle granularity.
+pub const DEFAULT_WHEEL_SLOTS: usize = 64;
+
+/// A deterministic future-event queue: a calendar wheel for events within
+/// `wheel_slots` cycles of the current time floor, backed by a binary
+/// min-heap for far-future events.
+///
+/// Pops are globally ordered by `(tick, ComponentId, insertion seq)` —
+/// the heap and wheel paths interleave without ever reordering — so the
+/// same sequence of [`EventQueue::schedule`] calls always produces the
+/// same sequence of [`EventQueue::pop`]s, regardless of which structure
+/// each event landed in.
+///
+/// Time can only move forward: the time floor (`base`) advances to each
+/// popped tick, and scheduling in the past clamps to the floor.
+#[derive(Debug)]
+pub struct EventQueue {
+    /// Bucket `t % slots` holds the events for tick `t`, for
+    /// `t ∈ [base, base + slots)`. All entries in one bucket share one
+    /// tick (the window is exactly one wheel revolution).
+    wheel: Vec<Vec<Entry>>,
+    wheel_len: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Time floor: every queued entry has `tick >= base`.
+    base: Cycle,
+    /// Insertion counter for FIFO tie-breaking.
+    seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new(DEFAULT_WHEEL_SLOTS)
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue with `wheel_slots` calendar slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wheel_slots` is zero.
+    #[must_use]
+    pub fn new(wheel_slots: usize) -> Self {
+        assert!(wheel_slots > 0, "calendar wheel needs at least one slot");
+        Self {
+            wheel: (0..wheel_slots).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            heap: BinaryHeap::new(),
+            base: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's time floor (advances to each popped tick).
+    #[must_use]
+    pub fn base(&self) -> Cycle {
+        self.base
+    }
+
+    /// Drops every queued event and moves the time floor to `now`.
+    /// Insertion order keeps counting across rebases, so FIFO ties stay
+    /// stable even for schedulers that rebuild their queue each step.
+    pub fn rebase(&mut self, now: Cycle) {
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.heap.clear();
+        self.wheel_len = 0;
+        self.base = now;
+    }
+
+    /// Schedules component `id` to wake at `tick`. A tick in the past is
+    /// clamped to the time floor ("run as soon as possible").
+    pub fn schedule(&mut self, tick: Cycle, id: ComponentId) {
+        let tick = tick.max(self.base);
+        let e = Entry {
+            tick,
+            id,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let slots = self.wheel.len() as Cycle;
+        if tick - self.base < slots {
+            self.wheel[(tick % slots) as usize].push(e);
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Reverse(e));
+        }
+    }
+
+    /// The earliest queued entry across both structures, with its wheel
+    /// location when it lives in the wheel.
+    fn find_min(&self) -> Option<(Entry, Option<(usize, usize)>)> {
+        let mut best: Option<(Entry, Option<(usize, usize)>)> = None;
+        if self.wheel_len > 0 {
+            // Calendar-wheel cursor: walk ticks forward from the time
+            // floor and stop at the first occupied bucket — each bucket
+            // holds exactly one tick value within the window, so that
+            // bucket contains the wheel's minimum. Events cluster near
+            // the floor, so this usually terminates in a step or two.
+            let slots = self.wheel.len() as Cycle;
+            for t in self.base..self.base + slots {
+                let s = (t % slots) as usize;
+                let bucket = &self.wheel[s];
+                if bucket.is_empty() {
+                    continue;
+                }
+                let (i, &e) = bucket
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.cmp(b.1))
+                    .expect("bucket checked non-empty");
+                best = Some((e, Some((s, i))));
+                break;
+            }
+        }
+        // The heap can hold entries that have since fallen inside the
+        // wheel window (the floor advanced after they were scheduled), so
+        // the global minimum must always consider both structures.
+        if let Some(&Reverse(e)) = self.heap.peek() {
+            if best.is_none_or(|(b, _)| e < b) {
+                best = Some((e, None));
+            }
+        }
+        best
+    }
+
+    /// The next wake-up without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<(Cycle, ComponentId)> {
+        self.find_min().map(|(e, _)| (e.tick, e.id))
+    }
+
+    /// Removes and returns the next wake-up `(tick, component)`. Advances
+    /// the time floor to the popped tick.
+    pub fn pop(&mut self) -> Option<(Cycle, ComponentId)> {
+        let (e, loc) = self.find_min()?;
+        match loc {
+            Some((slot, idx)) => {
+                self.wheel[slot].swap_remove(idx);
+                self.wheel_len -= 1;
+            }
+            None => {
+                self.heap.pop();
+            }
+        }
+        self.base = e.tick;
+        Some((e.tick, e.id))
+    }
+}
+
+/// A self-contained event loop: owns the components and the queue, pops
+/// the earliest wake-up, ticks that component against the shared context,
+/// and re-schedules it at the returned time.
+///
+/// `tlp_sim`'s engine embeds the [`EventQueue`] directly (its components
+/// interact through the engine's own routing), but systems whose
+/// components communicate only through a shared context can run entirely
+/// on this loop.
+pub struct EventLoop<Ctx> {
+    queue: EventQueue,
+    components: Vec<Box<dyn Component<Ctx = Ctx>>>,
+    now: Cycle,
+}
+
+impl<Ctx> Default for EventLoop<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ctx> std::fmt::Debug for EventLoop<Ctx> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("components", &self.components.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<Ctx> EventLoop<Ctx> {
+    /// An empty loop at cycle 0 with the default wheel width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::default(),
+            components: Vec::new(),
+            now: 0,
+        }
+    }
+
+    /// Registers a component; its id is its registration order. The
+    /// component's initial wake-up comes from [`Component::next_tick`].
+    pub fn add(&mut self, c: Box<dyn Component<Ctx = Ctx>>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        if let Some(t) = c.next_tick(self.now) {
+            self.queue.schedule(t, id);
+        }
+        self.components.push(c);
+        id
+    }
+
+    /// Current global time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Wakes an externally-notified component at `tick` (e.g. a message
+    /// arrival makes a sleeping component runnable).
+    pub fn wake(&mut self, id: ComponentId, tick: Cycle) {
+        self.queue.schedule(tick, id);
+    }
+
+    /// Pops and runs one wake-up, if any. Returns the cycle it ran at.
+    pub fn step(&mut self, ctx: &mut Ctx) -> Option<Cycle> {
+        let (t, id) = self.queue.pop()?;
+        self.now = t;
+        let c = &mut self.components[id.0 as usize];
+        if let Some(next) = c.tick(t, ctx) {
+            self.queue.schedule(next.max(t + 1), id);
+        }
+        Some(t)
+    }
+
+    /// Runs wake-ups up to and including `limit`, then parks the clock at
+    /// `limit`. Returns the number of component ticks executed.
+    pub fn run_until(&mut self, ctx: &mut Ctx, limit: Cycle) -> u64 {
+        let mut ticks = 0;
+        while self.queue.peek().is_some_and(|(t, _)| t <= limit) {
+            self.step(ctx);
+            ticks += 1;
+        }
+        self.now = self.now.max(limit);
+        ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_across_wheel_and_heap() {
+        let mut q = EventQueue::new(8);
+        // 200 and 500 go to the heap (window is [0, 8)), 3 to the wheel.
+        q.schedule(500, ComponentId(0));
+        q.schedule(3, ComponentId(1));
+        q.schedule(200, ComponentId(2));
+        assert_eq!(q.pop(), Some((3, ComponentId(1))));
+        // After the floor advances, far events still pop in order.
+        q.schedule(4, ComponentId(3));
+        assert_eq!(q.pop(), Some((4, ComponentId(3))));
+        assert_eq!(q.pop(), Some((200, ComponentId(2))));
+        assert_eq!(q.pop(), Some((500, ComponentId(0))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_tick_orders_by_component_then_fifo() {
+        let mut q = EventQueue::new(16);
+        q.schedule(10, ComponentId(5));
+        q.schedule(10, ComponentId(2));
+        q.schedule(10, ComponentId(5));
+        q.schedule(10, ComponentId(2));
+        assert_eq!(q.pop(), Some((10, ComponentId(2))));
+        assert_eq!(q.pop(), Some((10, ComponentId(2))));
+        assert_eq!(q.pop(), Some((10, ComponentId(5))));
+        assert_eq!(q.pop(), Some((10, ComponentId(5))));
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_the_floor() {
+        let mut q = EventQueue::new(8);
+        q.schedule(50, ComponentId(0));
+        assert_eq!(q.pop(), Some((50, ComponentId(0))));
+        q.schedule(7, ComponentId(1)); // in the past: clamps to 50
+        assert_eq!(q.pop(), Some((50, ComponentId(1))));
+        assert_eq!(q.base(), 50);
+    }
+
+    #[test]
+    fn rebase_clears_and_moves_the_floor() {
+        let mut q = EventQueue::new(8);
+        q.schedule(5, ComponentId(0));
+        q.schedule(100, ComponentId(1));
+        q.rebase(40);
+        assert!(q.is_empty());
+        q.schedule(12, ComponentId(2)); // clamps to the new floor
+        assert_eq!(q.pop(), Some((40, ComponentId(2))));
+    }
+
+    #[test]
+    fn heap_entries_that_fall_into_the_window_still_pop_first() {
+        let mut q = EventQueue::new(4);
+        q.schedule(100, ComponentId(0)); // heap (window [0, 4))
+        q.schedule(1, ComponentId(1)); // wheel
+        assert_eq!(q.pop(), Some((1, ComponentId(1))));
+        // Window is now [1, 5); 100 is still in the heap. A wheel entry
+        // at 103 must NOT pop before the heap's 100.
+        q.schedule(103, ComponentId(2));
+        assert_eq!(q.pop(), Some((100, ComponentId(0))));
+        assert_eq!(q.pop(), Some((103, ComponentId(2))));
+    }
+
+    struct OneShot {
+        at: Cycle,
+    }
+
+    impl Component for OneShot {
+        type Ctx = Vec<Cycle>;
+        fn next_tick(&self, _now: Cycle) -> Option<Cycle> {
+            Some(self.at)
+        }
+        fn tick(&mut self, now: Cycle, log: &mut Vec<Cycle>) -> Option<Cycle> {
+            log.push(now);
+            None
+        }
+    }
+
+    #[test]
+    fn event_loop_skips_idle_time() {
+        let mut lp = EventLoop::new();
+        lp.add(Box::new(OneShot { at: 1_000_000 }));
+        lp.add(Box::new(OneShot { at: 3 }));
+        let mut log = Vec::new();
+        let ticks = lp.run_until(&mut log, 2_000_000);
+        assert_eq!(ticks, 2, "exactly two wake-ups, no idle ticks");
+        assert_eq!(log, vec![3, 1_000_000]);
+        assert_eq!(lp.now(), 2_000_000);
+    }
+
+    #[test]
+    fn sleeping_components_wake_on_external_notify() {
+        struct Sleeper;
+        impl Component for Sleeper {
+            type Ctx = Vec<Cycle>;
+            fn next_tick(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn tick(&mut self, now: Cycle, log: &mut Vec<Cycle>) -> Option<Cycle> {
+                log.push(now);
+                None
+            }
+        }
+        let mut lp = EventLoop::new();
+        let id = lp.add(Box::new(Sleeper));
+        let mut log = Vec::new();
+        assert_eq!(lp.run_until(&mut log, 100), 0, "asleep: nothing runs");
+        lp.wake(id, 250);
+        lp.run_until(&mut log, 1_000);
+        assert_eq!(log, vec![250]);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! Usage:
 //! ```text
-//! tlp-repro [--test|--quick|--full] [--jobs N] [--cache-dir DIR] [fig1 fig2 ... | all]
+//! tlp-repro [--test|--quick|--full] [--engine cycle|event] [--jobs N]
+//!           [--cache-dir DIR] [fig1 fig2 ... | all]
 //! ```
 //!
 //! Simulations run through the harness's content-addressed run engine:
@@ -77,9 +78,21 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut no_cache = false;
+    let mut engine: Option<tlp_sim::EngineMode> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => match it.next().map(|v| v.parse::<tlp_sim::EngineMode>()) {
+                Some(Ok(mode)) => engine = Some(mode),
+                Some(Err(e)) => {
+                    eprintln!("--engine: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--engine requires a mode: cycle or event");
+                    std::process::exit(2);
+                }
+            },
             "--test" => rc = RunConfig::test(),
             "--quick" => rc = RunConfig::quick(),
             "--full" => rc = RunConfig::full(),
@@ -117,10 +130,12 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "tlp-repro [--test|--quick|--full] [--list] [--all] [--jobs N] [--cache-dir DIR] [--no-cache] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
+                    "tlp-repro [--test|--quick|--full] [--list] [--all] [--engine cycle|event] [--jobs N] [--cache-dir DIR] [--no-cache] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
                      experiments: {} table45 all\n\
                      --list prints the experiment ids, one per line\n\
                      --all runs every experiment (same as the `all` operand)\n\
+                     --engine selects the time-advance strategy (default: cycle, or $TLP_ENGINE); \
+                     both modes produce bit-identical tables, event mode skips idle cycles\n\
                      --jobs N sets the run-engine worker count (default: all cores, or $TLP_THREADS)\n\
                      --cache-dir DIR persists simulation results on disk; a re-run is simulation-free\n\
                      --no-cache disables the on-disk tier (the in-process cache always dedups the grid)\n\
@@ -135,6 +150,9 @@ fn main() {
     }
     if let Some(n) = jobs {
         rc.threads = n;
+    }
+    if let Some(mode) = engine {
+        rc.engine = mode;
     }
     let unknown: Vec<&String> = requested
         .iter()
@@ -176,12 +194,13 @@ fn main() {
         };
     }
     eprintln!(
-        "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads",
+        "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads, {} engine",
         rc.scale,
         rc.warmup,
         rc.instructions,
         h.active_workloads().len(),
         rc.threads,
+        rc.engine,
     );
     for exp in &requested {
         let t0 = std::time::Instant::now();
@@ -214,8 +233,14 @@ fn main() {
         eprintln!("# {exp} took {:.1}s", t0.elapsed().as_secs_f64());
     }
     // The run-engine summary (CI's cache-behavior job asserts on it: a
-    // warm-cache run must report simulated=0 and hit_rate=100.0%).
-    println!("# run-engine: {}", h.engine_stats().summary_line());
+    // warm-cache run must report simulated=0 and hit_rate=100.0%). The
+    // engine mode leads so cycle-vs-event table diffs can exclude this
+    // line with a single `grep -v run-engine`.
+    println!(
+        "# run-engine: engine={} {}",
+        rc.engine,
+        h.engine_stats().summary_line()
+    );
 }
 
 fn run_experiment(h: &Harness, id: &str, rc: RunConfig) -> Vec<ExperimentResult> {

@@ -28,3 +28,4 @@ pub mod scheme;
 pub use cache::{EngineStats, RunKey};
 pub use runner::{Harness, RunCell, RunConfig};
 pub use scheme::{L1Pf, Scheme, TlpParams};
+pub use tlp_sim::EngineMode;

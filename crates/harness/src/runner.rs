@@ -16,7 +16,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use tlp_sim::engine::System;
-use tlp_sim::{SimReport, SystemConfig};
+use tlp_sim::{EngineMode, SimReport, SystemConfig};
 use tlp_trace::catalog::{self, Scale};
 use tlp_trace::emit::Workload;
 use tlp_trace::{TraceRecord, VecTrace};
@@ -39,6 +39,11 @@ pub struct RunConfig {
     pub workloads_per_suite: Option<usize>,
     /// Worker threads for sweeps.
     pub threads: usize,
+    /// Engine time-advance strategy. Cycle and event mode produce
+    /// bit-identical reports (pinned by `tests/determinism.rs`), so the
+    /// mode is deliberately **not** part of the cell content address —
+    /// cached results are shared across modes.
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -52,6 +57,7 @@ impl RunConfig {
             mixes_per_suite: 2,
             workloads_per_suite: Some(2),
             threads: available_threads(),
+            engine: engine_from_env(),
         }
     }
 
@@ -65,6 +71,7 @@ impl RunConfig {
             mixes_per_suite: 4,
             workloads_per_suite: Some(6),
             threads: available_threads(),
+            engine: engine_from_env(),
         }
     }
 
@@ -78,6 +85,7 @@ impl RunConfig {
             mixes_per_suite: 12,
             workloads_per_suite: None,
             threads: available_threads(),
+            engine: engine_from_env(),
         }
     }
 }
@@ -93,6 +101,23 @@ fn available_threads() -> usize {
         return n;
     }
     std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Engine-mode default: the `TLP_ENGINE` environment variable when set
+/// (CI runs the golden/determinism suites under both modes with it), else
+/// the cycle-accurate reference engine.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `TLP_ENGINE` value — a typo silently falling
+/// back to the default would defeat the CI matrix.
+fn engine_from_env() -> EngineMode {
+    match std::env::var("TLP_ENGINE") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid TLP_ENGINE: {e}")),
+        Err(_) => EngineMode::Cycle,
+    }
 }
 
 /// One simulation cell of the evaluation grid: a content-addressed key, a
@@ -380,7 +405,9 @@ impl Harness {
                     None => SystemConfig::cascade_lake(1),
                 };
                 let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
-                System::new(cfg, vec![setup]).run(self.rc.warmup, self.rc.instructions)
+                System::new(cfg, vec![setup])
+                    .with_engine_mode(self.rc.engine)
+                    .run(self.rc.warmup, self.rc.instructions)
             }
             CellKind::Mix {
                 workloads,
@@ -396,7 +423,9 @@ impl Harness {
                     .iter()
                     .map(|w| scheme.build_setup(Box::new(self.trace_for(w)), *l1pf))
                     .collect();
-                System::new(cfg, setups).run(self.rc.warmup, self.rc.instructions)
+                System::new(cfg, setups)
+                    .with_engine_mode(self.rc.engine)
+                    .run(self.rc.warmup, self.rc.instructions)
             }
             CellKind::Custom {
                 workload,
@@ -405,7 +434,9 @@ impl Harness {
                 cfg,
             } => {
                 let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
-                System::new((**cfg).clone(), vec![setup]).run(self.rc.warmup, self.rc.instructions)
+                System::new((**cfg).clone(), vec![setup])
+                    .with_engine_mode(self.rc.engine)
+                    .run(self.rc.warmup, self.rc.instructions)
             }
         }
     }

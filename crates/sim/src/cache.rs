@@ -526,6 +526,55 @@ impl Cache {
     pub fn pending(&self) -> usize {
         self.demand_q.len() + self.prefetch_q.len() + self.mshrs.len()
     }
+
+    /// Queued demand accesses waiting out the lookup latency (or an MSHR
+    /// stall), for deadlock diagnostics.
+    #[must_use]
+    pub fn demand_queue_len(&self) -> usize {
+        self.demand_q.len()
+    }
+
+    /// Queued prefetch requests, for deadlock diagnostics.
+    #[must_use]
+    pub fn prefetch_queue_len(&self) -> usize {
+        self.prefetch_q.len()
+    }
+
+    /// Conservative wake-up time for the event engine: the earliest cycle
+    /// at which [`Cache::tick`] could process a queue entry. Each queue
+    /// serves its front entry first (head-of-line order is part of the
+    /// model), so the wake-up is the earlier of the two front ready
+    /// times; a front entry stalled on MSHR pressure has a ready time in
+    /// the past and retries every cycle. `None` means both queues are
+    /// empty — outstanding MSHRs alone need no ticking, they resolve via
+    /// [`Cache::fill`] when downstream data arrives.
+    #[must_use]
+    pub fn next_ready(&self) -> Option<Cycle> {
+        let d = self.demand_q.front().map(|&(ready, _)| ready);
+        let p = self.prefetch_q.front().map(|&(ready, _)| ready);
+        match (d, p) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+}
+
+/// A cache level as a scheduled component: ticking drains the ready queue
+/// entries into the shared [`TickOutput`] (the engine routes hits,
+/// forwards and prefetcher notifications), and the wake-up contract is
+/// [`Cache::next_ready`].
+impl tlp_events::Component for Cache {
+    type Ctx = TickOutput;
+
+    fn next_tick(&self, _now: Cycle) -> Option<Cycle> {
+        self.next_ready()
+    }
+
+    fn tick(&mut self, now: Cycle, out: &mut TickOutput) -> Option<Cycle> {
+        *out = Cache::tick(self, now);
+        self.next_ready()
+    }
 }
 
 #[cfg(test)]

@@ -182,6 +182,14 @@ impl Core {
         self.rob.get_mut(idx)
     }
 
+    fn entry(&self, seq: u64) -> Option<&RobEntry> {
+        if seq < self.front_seq {
+            return None;
+        }
+        let idx = (seq - self.front_seq) as usize;
+        self.rob.get(idx)
+    }
+
     fn dep_ready(&self, dep: Option<u64>, now: Cycle) -> bool {
         match dep {
             None => true,
@@ -484,6 +492,169 @@ impl Core {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.rob.len() + self.store_buffer.len() + usize::from(self.pending_rec.is_some())
+    }
+
+    /// O(1) front-half of [`Core::next_wake`]: true when the core is
+    /// certain to have work on the very next cycle (a store to drain, a
+    /// retirable head, or an unobstructed fetch). The event engine asks
+    /// this before paying for the full ROB scan — on busy cycles it
+    /// almost always answers the scheduling question by itself.
+    #[must_use]
+    pub fn wants_next_cycle(&self, now: Cycle, trace_done: bool) -> bool {
+        if !self.store_buffer.is_empty() {
+            return true;
+        }
+        if let Some(e) = self.rob.front() {
+            if e.state == EntryState::Done && e.exec_done_at <= now + 1 {
+                return true;
+            }
+        }
+        if self.fetch_resume_at <= now + 1 {
+            match self.stall_on_branch {
+                // Stall resolution happens on the next dispatch call
+                // regardless of ROB occupancy (dispatch checks the stall
+                // before the capacity-gated fetch loop).
+                Some(bseq) if self.entry(bseq).is_none_or(|e| e.state == EntryState::Done) => {
+                    return true;
+                }
+                Some(_) => {}
+                None if self.rob.len() < self.cfg.rob => {
+                    let hazard_blocked = match &self.pending_rec {
+                        Some(r) => match r.op {
+                            Op::Load => self.lq_used >= self.cfg.load_queue,
+                            Op::Store => self.sq_used >= self.cfg.store_queue,
+                            _ => false,
+                        },
+                        None => false,
+                    };
+                    if (self.pending_rec.is_some() || !trace_done) && !hazard_blocked {
+                        return true;
+                    }
+                }
+                None => {}
+            }
+        }
+        false
+    }
+
+    /// Conservative wake-up time for the event engine: the earliest
+    /// future cycle at which one of the core's per-cycle stages
+    /// ([`Core::retire`], [`Core::dispatch`], [`Core::schedule`], the
+    /// store-buffer drain) could change state with **no external input**
+    /// (no cache fill, no [`Core::complete_load`]). `None` means the core
+    /// is fully blocked on memory: every runnable path waits on a load in
+    /// flight, so only a fill can make it runnable again.
+    ///
+    /// The contract mirrors `tlp_events::Component::next_tick`: waking
+    /// too early is a harmless no-op tick, waking too late would change
+    /// simulated behavior, so every internal state transition below is
+    /// accounted for. `trace_done` is the engine's trace-exhaustion flag
+    /// (the core itself cannot probe the trace without consuming it).
+    #[must_use]
+    pub fn next_wake(&self, now: Cycle, trace_done: bool) -> Option<Cycle> {
+        let soonest = now + 1;
+        // The store buffer drains one store per cycle unconditionally.
+        if !self.store_buffer.is_empty() {
+            return Some(soonest);
+        }
+        let mut wake = Cycle::MAX;
+        // Retirement: the ROB head finished executing at a known time.
+        if let Some(e) = self.rob.front() {
+            if e.state == EntryState::Done {
+                wake = wake.min(e.exec_done_at.max(soonest));
+            }
+        }
+        // Dispatch. Mutation paths: resolving a completed mispredicted
+        // branch, and fetching from the trace / the hazard-stalled record.
+        if wake > soonest {
+            match self.stall_on_branch {
+                // The next dispatch call at/after `fetch_resume_at`
+                // clears the stall once the branch has executed (its
+                // state flips to Done the cycle it is scheduled) or left
+                // the ROB — **regardless of ROB occupancy**: dispatch
+                // checks the stall before the capacity-gated fetch loop,
+                // so a full ROB must not suppress this wake-up (the
+                // resolution stamps `fetch_resume_at` with the mispredict
+                // penalty; deferring it past the branch's retirement
+                // would skip the penalty). A still-waiting branch is
+                // covered by the scheduler scan below.
+                Some(bseq) if self.entry(bseq).is_none_or(|e| e.state == EntryState::Done) => {
+                    wake = wake.min(self.fetch_resume_at.max(soonest));
+                }
+                Some(_) => {}
+                None if self.rob.len() < self.cfg.rob => {
+                    let hazard_blocked = match &self.pending_rec {
+                        Some(r) => match r.op {
+                            Op::Load => self.lq_used >= self.cfg.load_queue,
+                            Op::Store => self.sq_used >= self.cfg.store_queue,
+                            _ => false,
+                        },
+                        None => false,
+                    };
+                    let can_fetch = self.pending_rec.is_some() || !trace_done;
+                    if can_fetch && !hazard_blocked {
+                        wake = wake.min(self.fetch_resume_at.max(soonest));
+                    }
+                }
+                None => {}
+            }
+        }
+        // Scheduler: a waiting entry becomes issueable once every
+        // producer has finished at a known time. Producers still waiting
+        // (on operands or memory) yield no candidate here — when they
+        // execute, that tick re-computes the wake-up. Width/window limits
+        // are ignored: they only make a wake-up a no-op, never late.
+        for e in &self.rob {
+            if wake == soonest {
+                break;
+            }
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            // Issue starts the cycle after dispatch (`dispatched_at < now`).
+            let mut t = (e.dispatched_at + 1).max(soonest);
+            let mut known = true;
+            for dep in e.deps.iter().flatten() {
+                match self.entry(*dep) {
+                    None => {} // producer retired: ready
+                    Some(p) if p.state == EntryState::Done => {
+                        t = t.max(p.exec_done_at).max(soonest);
+                    }
+                    Some(_) => {
+                        known = false;
+                        break;
+                    }
+                }
+            }
+            if known {
+                wake = wake.min(t);
+            }
+        }
+        (wake != Cycle::MAX).then_some(wake)
+    }
+
+    /// Dispatch cycle of the oldest un-retired instruction (deadlock
+    /// diagnostics: the core whose head has waited longest is stalled).
+    #[must_use]
+    pub fn oldest_dispatch_cycle(&self) -> Option<Cycle> {
+        self.rob.front().map(|e| e.dispatched_at)
+    }
+
+    /// Human-readable description of the oldest un-retired instruction,
+    /// for deadlock diagnostics.
+    #[must_use]
+    pub fn oldest_inflight(&self) -> Option<String> {
+        self.rob.front().map(|e| {
+            let state = match e.state {
+                EntryState::Waiting => "waiting on operands",
+                EntryState::WaitingMemory => "waiting on memory",
+                EntryState::Done => "done, not yet retired",
+            };
+            format!(
+                "seq {} {:?} pc {:#x} addr {:#x} — {state}, dispatched at cycle {}",
+                e.seq, e.rec.op, e.rec.pc, e.rec.addr, e.dispatched_at
+            )
+        })
     }
 }
 

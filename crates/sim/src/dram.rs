@@ -300,11 +300,60 @@ impl Dram {
         self.read_q.len() + self.write_q.len() + self.in_flight.len()
     }
 
+    /// Queued reads not yet issued to a bank (deadlock diagnostics).
+    #[must_use]
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Queued writebacks not yet issued to a bank (deadlock diagnostics).
+    #[must_use]
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// Transactions issued to a bank and awaiting completion.
+    #[must_use]
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Conservative wake-up time for the event engine: the earliest
+    /// future cycle at which [`Dram::tick`] could change state. Queued
+    /// transactions contend for the command bus every cycle (the FR-FCFS
+    /// pick depends on bank state, so the controller must be consulted
+    /// each cycle while a queue is occupied); otherwise the next event is
+    /// the earliest in-flight completion. `None` means the controller is
+    /// completely idle.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            return Some(now + 1);
+        }
+        self.in_flight.iter().filter_map(|t| t.done_at).min()
+    }
+
     /// Counts speculative fills still unclaimed in the DDRP buffer as
     /// wasted (end-of-simulation accounting).
     pub fn drain_ddrp_residue(&mut self) {
         self.stats.spec_wasted += self.ddrp.len() as u64;
         self.ddrp.clear();
+    }
+}
+
+/// The DRAM controller as a scheduled component: ticking drains completed
+/// transactions into the shared output buffer (the engine routes them up
+/// the hierarchy), and the wake-up contract is [`Dram::next_event`].
+impl tlp_events::Component for Dram {
+    type Ctx = Vec<Request>;
+
+    fn next_tick(&self, now: Cycle) -> Option<Cycle> {
+        self.next_event(now)
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<Request>) -> Option<Cycle> {
+        done.extend(Dram::tick(self, now));
+        self.next_event(now)
     }
 }
 

@@ -1,11 +1,31 @@
 //! The simulation engine: wires cores, caches, TLBs, DRAM and the plugin
-//! predictors together, and advances the whole system cycle by cycle.
+//! predictors together, and advances the whole system through time.
+//!
+//! Two interchangeable engine modes drive the same component logic:
+//!
+//! * [`EngineMode::Cycle`] — the reference implementation: every
+//!   component ticks every base cycle.
+//! * [`EngineMode::Event`] — discrete-event scheduling on
+//!   [`tlp_events`]: each component (DRAM, the LLC, each core's L2/L1D,
+//!   each core front-end, the speculative-request and DRAM-retry queues)
+//!   reports a conservative wake-up time, the earliest of which is popped
+//!   from an [`EventQueue`] and the clock jumps straight there. Cycles
+//!   where every component is provably idle — the common case when the
+//!   whole system stalls behind a DRAM access — are never executed.
+//!
+//! Both modes run the identical per-cycle logic in the identical
+//! intra-cycle order (DRAM → retries → speculative queue → LLC → L2 →
+//! L1D → core), so they produce **bit-identical** [`SimReport`]s; the
+//! event engine only skips cycles that the cycle engine would have spent
+//! doing nothing. `tests/determinism.rs` and the engine tests below pin
+//! that equivalence.
 
 use std::collections::VecDeque;
 
+use tlp_events::{Component, ComponentId, EventQueue};
 use tlp_trace::TraceSource;
 
-use crate::cache::{Cache, PrefetchEviction};
+use crate::cache::{Cache, PrefetchEviction, TickOutput};
 use crate::config::SystemConfig;
 use crate::core::{Core, DispatchHooks};
 use crate::dram::Dram;
@@ -18,6 +38,74 @@ use crate::request::{ReqKind, Request};
 use crate::stats::{CoreReport, OffChipStats, PrefetchStats, SimReport};
 use crate::types::{CoreId, Cycle, Level, LINE_SIZE};
 use crate::vm::{Mmu, PageTable};
+
+/// How [`System::run`] advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Tick every component every base cycle (reference implementation).
+    #[default]
+    Cycle,
+    /// Discrete-event scheduling: jump from one component wake-up to the
+    /// next, skipping cycles where the whole system is provably idle.
+    /// Produces bit-identical reports to [`EngineMode::Cycle`].
+    Event,
+}
+
+impl EngineMode {
+    /// All modes, reference first.
+    pub const ALL: [EngineMode; 2] = [EngineMode::Cycle, EngineMode::Event];
+
+    /// The CLI/env spelling of the mode.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::Cycle => "cycle",
+            EngineMode::Event => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cycle" => Ok(EngineMode::Cycle),
+            "event" => Ok(EngineMode::Event),
+            other => Err(format!(
+                "unknown engine mode '{other}' (expected 'cycle' or 'event')"
+            )),
+        }
+    }
+}
+
+/// Scheduled-component identities for the event queue. Ids follow the
+/// canonical intra-cycle order, so same-cycle pops (which the engine
+/// coalesces into one full tick anyway) stay in a stable, meaningful
+/// order.
+const COMP_DRAM: ComponentId = ComponentId(0);
+const COMP_SPEC: ComponentId = ComponentId(1);
+const COMP_LLC: ComponentId = ComponentId(2);
+const COMPS_FIXED: u32 = 3;
+const COMPS_PER_CORE: u32 = 3;
+
+fn comp_l2(core: usize) -> ComponentId {
+    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32)
+}
+
+fn comp_l1d(core: usize) -> ComponentId {
+    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32 + 1)
+}
+
+fn comp_core(core: usize) -> ComponentId {
+    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32 + 2)
+}
 
 /// Everything one core needs: its trace plus the plugin predictors.
 pub struct CoreSetup {
@@ -162,6 +250,14 @@ pub struct System {
     wb_retry: VecDeque<(u64, CoreId)>,
     last_retire: Cycle,
     measuring: bool,
+    mode: EngineMode,
+    /// Wake-up queue for [`EngineMode::Event`] (rebuilt per executed
+    /// tick: a handful of components, so rescheduling is cheap and keeps
+    /// the queue trivially consistent with the system state).
+    events: EventQueue,
+    /// Ticks actually executed (== elapsed cycles in cycle mode; the gap
+    /// to `cycle` is the event engine's skipped-idle-cycle win).
+    ticks_executed: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -228,6 +324,9 @@ impl System {
             wb_retry: VecDeque::new(),
             last_retire: 0,
             measuring: false,
+            mode: EngineMode::default(),
+            events: EventQueue::default(),
+            ticks_executed: 0,
         }
     }
 
@@ -235,6 +334,34 @@ impl System {
     #[must_use]
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Selects how [`System::run`] advances time. Both modes produce
+    /// bit-identical reports; [`EngineMode::Event`] is faster whenever
+    /// the system spends cycles fully stalled (memory-bound workloads).
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+    }
+
+    /// Builder-style [`System::set_engine_mode`].
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.set_engine_mode(mode);
+        self
+    }
+
+    /// The active engine mode.
+    #[must_use]
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Ticks actually executed so far. In cycle mode this equals
+    /// [`System::cycle`]; in event mode the difference counts the idle
+    /// cycles the scheduler skipped.
+    #[must_use]
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks_executed
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -263,7 +390,7 @@ impl System {
             .enumerate()
             .all(|(i, c)| c.core.retired() >= warm_target[i] || c.trace_exhausted)
         {
-            self.tick();
+            self.step();
             self.check_watchdog();
             if self.all_done() {
                 break;
@@ -278,8 +405,20 @@ impl System {
             .iter()
             .map(|c| c.core.retired() + measure)
             .collect();
+        let mut first = true;
         loop {
-            self.tick();
+            if first {
+                // Always single-step the first measured cycle: a core that
+                // drained during warmup has its finish condition sampled
+                // at `start + 1` by the cycle engine (the condition is
+                // checked after each tick, and the cycle engine ticks
+                // every cycle), and the event engine must record the same
+                // finish cycle even though no component has work then.
+                self.tick();
+                first = false;
+            } else {
+                self.step();
+            }
             let now = self.cycle;
             for (i, c) in self.cores.iter_mut().enumerate() {
                 let drained = c.trace_exhausted
@@ -314,17 +453,64 @@ impl System {
             && self.spec_pending.is_empty()
     }
 
+    /// Forward-progress watchdog. A genuine livelock is a simulator bug,
+    /// not a workload property, so the panic carries a full diagnosis:
+    /// the stalled core and its oldest in-flight instruction, plus the
+    /// queue/MSHR occupancy of every level of the hierarchy.
     fn check_watchdog(&self) {
-        assert!(
-            self.cycle - self.last_retire < 1_000_000,
-            "no instruction retired for 1M cycles at cycle {}: deadlock \
-             (core0 pending {}, l1d {}, l2 {}, llc {}, dram {})",
+        const WATCHDOG_CYCLES: Cycle = 1_000_000;
+        if self.cycle - self.last_retire < WATCHDOG_CYCLES {
+            return;
+        }
+        // The stalled core: the one whose oldest in-flight instruction
+        // has been waiting longest (ties to the lowest core id).
+        let stalled = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.core.pending() > 0)
+            .min_by_key(|(i, c)| (c.core.oldest_dispatch_cycle().unwrap_or(Cycle::MAX), *i))
+            .map_or(0, |(i, _)| i);
+        let mut levels = String::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            levels.push_str(&format!(
+                "  core{i} ({}): rob+stores {}, retired {}\n    \
+                 L1D queues d/p {}/{} mshrs {}; L2 queues d/p {}/{} mshrs {}\n",
+                c.workload,
+                c.core.pending(),
+                c.core.retired(),
+                c.l1d.demand_queue_len(),
+                c.l1d.prefetch_queue_len(),
+                c.l1d.mshrs_in_use(),
+                c.l2.demand_queue_len(),
+                c.l2.prefetch_queue_len(),
+                c.l2.mshrs_in_use(),
+            ));
+        }
+        levels.push_str(&format!(
+            "  LLC queues d/p {}/{} mshrs {}\n  \
+             DRAM read-q {} write-q {} in-flight {}\n  \
+             retry queues read/wb {}/{}, speculative pending {}",
+            self.llc.demand_queue_len(),
+            self.llc.prefetch_queue_len(),
+            self.llc.mshrs_in_use(),
+            self.dram.read_queue_len(),
+            self.dram.write_queue_len(),
+            self.dram.in_flight_len(),
+            self.dram_retry.len(),
+            self.wb_retry.len(),
+            self.spec_pending.len(),
+        ));
+        panic!(
+            "no instruction retired for 1M cycles at cycle {} ({} engine): deadlock\n\
+             stalled core{stalled}: {}\n\
+             per-level occupancy:\n{levels}",
             self.cycle,
-            self.cores[0].core.pending(),
-            self.cores[0].l1d.pending(),
-            self.cores[0].l2.pending(),
-            self.llc.pending(),
-            self.dram.pending()
+            self.mode,
+            self.cores[stalled]
+                .core
+                .oldest_inflight()
+                .unwrap_or_else(|| "no in-flight instruction (front-end starved)".into()),
         );
     }
 
@@ -393,12 +579,114 @@ impl System {
         }
     }
 
+    /// Advances the system: one cycle in [`EngineMode::Cycle`], straight
+    /// to the next scheduled component wake-up in [`EngineMode::Event`].
+    fn step(&mut self) {
+        if self.mode == EngineMode::Event {
+            let wake = self.next_wake();
+            debug_assert!(wake > self.cycle, "wake-ups must move time forward");
+            self.cycle = wake - 1;
+        }
+        self.tick();
+    }
+
+    /// The earliest cycle at which any component may change state,
+    /// computed by scheduling every component's conservative wake-up into
+    /// the event queue and popping the minimum. Components are consulted
+    /// cheapest-first, and any wake-up due at the very next cycle returns
+    /// immediately — during busy phases the expensive per-core scans
+    /// never run, so event mode degrades gracefully toward cycle mode's
+    /// cost instead of paying the full scheduling overhead every tick.
+    /// Falls back to the next cycle when nothing at all is scheduled but
+    /// the run is not over (a simulator bug: single-stepping lets the
+    /// watchdog produce its diagnosis).
+    fn next_wake(&mut self) -> Cycle {
+        let now = self.cycle;
+        let soonest = now + 1;
+        if self.work_due_next_cycle(now) {
+            return soonest;
+        }
+        self.events.rebase(soonest);
+        if let Some(t) = self.dram.next_event(now) {
+            if t <= soonest {
+                return soonest;
+            }
+            self.events.schedule(t, COMP_DRAM);
+        }
+        if let Some(t) = self.spec_pending.iter().map(|&(t, _)| t).min() {
+            if t <= soonest {
+                return soonest;
+            }
+            self.events.schedule(t, COMP_SPEC);
+        }
+        if let Some(t) = self.llc.next_ready() {
+            if t <= soonest {
+                return soonest;
+            }
+            self.events.schedule(t, COMP_LLC);
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(t) = c.l2.next_ready() {
+                if t <= soonest {
+                    return soonest;
+                }
+                self.events.schedule(t, comp_l2(i));
+            }
+            if let Some(t) = c.l1d.next_ready() {
+                if t <= soonest {
+                    return soonest;
+                }
+                self.events.schedule(t, comp_l1d(i));
+            }
+        }
+        // The core front-ends last: their wake-up needs an ROB walk.
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(t) = c.core.next_wake(now, c.trace_exhausted) {
+                if t <= soonest {
+                    return soonest;
+                }
+                self.events.schedule(t, comp_core(i));
+            }
+        }
+        self.events.pop().map_or(soonest, |(t, _)| t)
+    }
+
+    /// O(1) pre-pass of [`System::next_wake`]: true when some component
+    /// is certain to have work on the very next cycle, in which case the
+    /// scheduling pass (queue rebuild + per-core ROB walks) is pointless.
+    /// On busy cycles — the overwhelming majority of executed ticks on
+    /// compute-bound phases — this keeps event mode within a few percent
+    /// of cycle mode's cost.
+    fn work_due_next_cycle(&self, now: Cycle) -> bool {
+        let soonest = now + 1;
+        // Retries re-attempt the DRAM queues every cycle, and queued DRAM
+        // transactions contend for the command bus every cycle.
+        if !self.dram_retry.is_empty() || !self.wb_retry.is_empty() {
+            return true;
+        }
+        if self.dram.read_queue_len() > 0 || self.dram.write_queue_len() > 0 {
+            return true;
+        }
+        for c in &self.cores {
+            if c.core.wants_next_cycle(now, c.trace_exhausted)
+                || c.l1d.next_ready().is_some_and(|t| t <= soonest)
+                || c.l2.next_ready().is_some_and(|t| t <= soonest)
+            {
+                return true;
+            }
+        }
+        self.llc.next_ready().is_some_and(|t| t <= soonest)
+            || self.spec_pending.iter().any(|&(t, _)| t <= soonest)
+    }
+
     /// Advances the system by one cycle.
     pub fn tick(&mut self) {
         self.cycle += 1;
+        self.ticks_executed += 1;
         let now = self.cycle;
         // 1. DRAM completions climb back up the hierarchy.
-        let done = self.dram.tick(now);
+        let mut done = Vec::new();
+        let _ = Component::tick(&mut self.dram, now, &mut done);
         for req in done {
             self.deliver_from_dram(&req, now);
         }
@@ -452,7 +740,8 @@ impl System {
     }
 
     fn tick_llc(&mut self, now: Cycle) {
-        let out = self.llc.tick(now);
+        let mut out = TickOutput::default();
+        let _ = Component::tick(&mut self.llc, now, &mut out);
         for ev in out.pf_useful {
             self.attribute_prefetch_outcome(&ev);
         }
@@ -740,7 +1029,8 @@ impl System {
     }
 
     fn tick_l2(&mut self, i: usize, now: Cycle) {
-        let out = self.cores[i].l2.tick(now);
+        let mut out = TickOutput::default();
+        let _ = Component::tick(&mut self.cores[i].l2, now, &mut out);
         for paddr in out.demand_misses {
             self.cores[i].l2_filter.on_demand_miss(paddr);
         }
@@ -816,7 +1106,8 @@ impl System {
     }
 
     fn tick_l1d(&mut self, i: usize, now: Cycle) {
-        let out = self.cores[i].l1d.tick(now);
+        let mut out = TickOutput::default();
+        let _ = Component::tick(&mut self.cores[i].l1d, now, &mut out);
         for ev in out.pf_useful {
             self.attribute_prefetch_outcome(&ev);
         }
@@ -1319,5 +1610,181 @@ mod tests {
         let mut sys = tiny_system(stream_trace(50, 64));
         let report = sys.run(0, 10_000);
         assert_eq!(report.cores[0].core.instructions, 50);
+    }
+
+    /// Dependent cold loads (a pointer-chase shape): the system spends
+    /// most cycles fully stalled on DRAM, which is exactly where the
+    /// event engine must both match the cycle engine bit-for-bit and
+    /// skip a large share of the ticks.
+    fn chase_trace(n: usize) -> VecTrace {
+        let recs: Vec<TraceRecord> = (0..n as u64)
+            .map(|i| {
+                TraceRecord::load(0x400, 0x40_0000 + i * 4096, 8, Reg(1), [Some(Reg(1)), None])
+            })
+            .collect();
+        VecTrace::new("chase", recs)
+    }
+
+    fn run_both(make: impl Fn() -> System, warmup: u64, measure: u64) -> (SimReport, SimReport) {
+        let mut cyc = make();
+        cyc.set_engine_mode(EngineMode::Cycle);
+        let rc = cyc.run(warmup, measure);
+        let mut evt = make();
+        evt.set_engine_mode(EngineMode::Event);
+        let re = evt.run(warmup, measure);
+        assert_eq!(
+            cyc.cycle(),
+            evt.cycle(),
+            "both engines must land on the same final cycle"
+        );
+        assert_eq!(
+            cyc.ticks_executed(),
+            cyc.cycle(),
+            "cycle mode executes every cycle"
+        );
+        assert!(
+            evt.ticks_executed() <= cyc.ticks_executed(),
+            "event mode can never execute more ticks than cycle mode"
+        );
+        (rc, re)
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_on_a_memory_bound_chase() {
+        let (rc, re) = run_both(|| tiny_system(chase_trace(600)), 100, 500);
+        assert_eq!(rc, re);
+    }
+
+    #[test]
+    fn event_mode_skips_idle_cycles_on_a_memory_bound_chase() {
+        let mut evt = tiny_system(chase_trace(600));
+        evt.set_engine_mode(EngineMode::Event);
+        let _ = evt.run(0, 600);
+        assert!(
+            evt.ticks_executed() * 2 < evt.cycle(),
+            "a dependent chase must skip most cycles: executed {} of {}",
+            evt.ticks_executed(),
+            evt.cycle()
+        );
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_on_streams_and_hot_lines() {
+        let (rc, re) = run_both(|| tiny_system(stream_trace(1000, 192)), 100, 800);
+        assert_eq!(rc, re);
+        let hot = || {
+            let recs: Vec<TraceRecord> = (0..400)
+                .map(|_| TraceRecord::load(0x400, 0x5000, 8, Reg(1), [Some(Reg(1)), None]))
+                .collect();
+            tiny_system(VecTrace::new("hot", recs))
+        };
+        let (rc, re) = run_both(hot, 50, 300);
+        assert_eq!(rc, re);
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_with_stores_and_thrashing() {
+        let stores = || {
+            let recs: Vec<TraceRecord> = (0..200)
+                .map(|i| TraceRecord::store(0x400, 0x20_0000 + i * 64, 8, None, None))
+                .collect();
+            tiny_system(VecTrace::new("stores", recs))
+        };
+        let (rc, re) = run_both(stores, 0, 100_000);
+        assert_eq!(rc, re);
+        let (rc, re) = run_both(|| tiny_system(thrash_trace(6, 160)), 0, 6 * 160);
+        assert_eq!(rc, re);
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_with_speculative_predictors() {
+        for decision in [
+            OffChipDecision::IssueNow,
+            OffChipDecision::IssueOnL1dMiss,
+            OffChipDecision::NoIssue,
+        ] {
+            let make = || {
+                let setup = CoreSetup::new(Box::new(chase_trace(300)))
+                    .with_offchip(Box::new(FixedPredictor(decision)));
+                System::new(SystemConfig::test_tiny(1), vec![setup])
+            };
+            let (rc, re) = run_both(make, 0, 300);
+            assert_eq!(rc, re, "decision {decision:?} diverged");
+        }
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_multi_core() {
+        let make = || {
+            System::new(
+                SystemConfig::test_tiny(2),
+                vec![
+                    CoreSetup::new(Box::new(stream_trace(400, 64))),
+                    CoreSetup::new(Box::new(chase_trace(400))),
+                ],
+            )
+        };
+        let (rc, re) = run_both(make, 50, 350);
+        assert_eq!(rc, re);
+    }
+
+    /// Mispredicted branches racing memory-blocked ROB heads in a tiny
+    /// ROB: the shape where a stall-resolution wake-up gated on ROB
+    /// space (dispatch resolves the stall even when the ROB is full)
+    /// would let event mode skip the mispredict penalty cycle mode pays.
+    #[test]
+    fn event_mode_is_bit_identical_under_branch_stalls_with_full_rob() {
+        let make_trace = || {
+            let mut recs = Vec::new();
+            let mut x = 0x1234_5678_9abc_def0u64;
+            for i in 0..600u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Heads that resolve on-chip fast (hot line) or off-chip
+                // slow (cold dependent), racing the mispredict penalty...
+                let addr = if x & 4 == 0 {
+                    0x5000
+                } else {
+                    0x40_0000 + i * 4096
+                };
+                recs.push(TraceRecord::load(
+                    0x400,
+                    addr,
+                    8,
+                    Reg(1),
+                    [Some(Reg(1)), None],
+                ));
+                // ...chased by pseudo-random branches that keep
+                // mispredicting and stalling fetch behind them.
+                recs.push(TraceRecord::branch(0x410 + i * 8, x & 1 == 0, 0x400, None));
+                recs.push(TraceRecord::alu(0x418, Some(Reg(2)), [None, None]));
+                recs.push(TraceRecord::branch(0x420 + i * 8, x & 2 == 0, 0x400, None));
+            }
+            VecTrace::new("branchy", recs)
+        };
+        for rob in [4usize, 8, 16] {
+            let make = || {
+                let mut cfg = SystemConfig::test_tiny(1);
+                cfg.core.rob = rob;
+                cfg.core.load_queue = rob;
+                cfg.core.store_queue = rob;
+                // A penalty longer than an on-chip hit: resolving the
+                // stall late (or never) visibly shifts fetch timing.
+                cfg.core.mispredict_penalty = 30;
+                System::new(cfg, vec![CoreSetup::new(Box::new(make_trace()))])
+            };
+            let (rc, re) = run_both(make, 100, 2000);
+            assert_eq!(rc, re, "rob={rob} diverged");
+        }
+    }
+
+    #[test]
+    fn engine_mode_parses_and_displays() {
+        assert_eq!("cycle".parse::<EngineMode>(), Ok(EngineMode::Cycle));
+        assert_eq!("event".parse::<EngineMode>(), Ok(EngineMode::Event));
+        assert!("evnet".parse::<EngineMode>().is_err());
+        assert_eq!(EngineMode::Event.to_string(), "event");
+        assert_eq!(EngineMode::default(), EngineMode::Cycle);
     }
 }

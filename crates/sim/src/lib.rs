@@ -43,6 +43,6 @@ pub mod victim;
 pub mod vm;
 
 pub use config::SystemConfig;
-pub use engine::{CoreSetup, System};
+pub use engine::{CoreSetup, EngineMode, System};
 pub use stats::SimReport;
 pub use types::{CoreId, Cycle, Level};

@@ -1,0 +1,129 @@
+//! Races the cycle engine against the event engine on memory-bound
+//! workloads and writes `BENCH_engine.json` (mode, workload, wall-clock,
+//! simulated cycles/second). `scripts/bench-engine.sh` is the packaged
+//! entry point.
+//!
+//! Both engines simulate the identical system; the example asserts their
+//! reports are field-identical before recording any timing, so the JSON
+//! can never advertise a speedup bought with accuracy.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tlp::harness::{L1Pf, Scheme};
+use tlp::sim::engine::System;
+use tlp::sim::{EngineMode, SimReport, SystemConfig};
+use tlp::trace::catalog::{self, Scale};
+use tlp::trace::VecTrace;
+
+const WARMUP: u64 = 20_000;
+const INSTRUCTIONS: u64 = 200_000;
+
+struct Sample {
+    workload: &'static str,
+    mode: EngineMode,
+    wall_s: f64,
+    simulated_cycles: u64,
+    ticks_executed: u64,
+    report: SimReport,
+}
+
+impl Sample {
+    fn cycles_per_sec(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn run_one(workload: &'static str, mode: EngineMode) -> Sample {
+    let w = catalog::workload(workload, Scale::Quick).expect("workload in catalog");
+    let trace = VecTrace::from_workload(w.as_ref(), (WARMUP + INSTRUCTIONS) as usize + 4096);
+    // The paper's baseline system (IPCP at L1D, SPP at L2): a realistic
+    // amount of MLP, so the idle windows are the ones real runs have.
+    let setup = Scheme::Baseline.build_setup(Box::new(trace), L1Pf::Ipcp);
+    let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]).with_engine_mode(mode);
+    let t0 = Instant::now();
+    let report = sys.run(WARMUP, INSTRUCTIONS);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Sample {
+        workload,
+        mode,
+        wall_s,
+        simulated_cycles: sys.cycle(),
+        ticks_executed: sys.ticks_executed(),
+        report,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+    // One memory-bound workload per suite: mcf's pointer chasing is the
+    // paper's canonical high-MPKI SPEC case; bfs on the uniform-random
+    // graph is the most off-chip-bound GAP workload at this scale
+    // (irregular frontier expansion defeats both prefetchers).
+    let workloads: [&'static str; 2] = ["spec.mcf_06", "bfs.urand"];
+    let mut samples: Vec<Sample> = Vec::new();
+    for wl in workloads {
+        for mode in EngineMode::ALL {
+            eprintln!("# racing {wl} under the {mode} engine...");
+            samples.push(run_one(wl, mode));
+        }
+    }
+    // Equivalence gate: timings only count if the reports agree.
+    for pair in samples.chunks(2) {
+        assert_eq!(
+            pair[0].report, pair[1].report,
+            "{}: engines disagree — timing void",
+            pair[0].workload
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"engine-race\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"scale\": \"quick\", \"warmup\": {WARMUP}, \"instructions\": {INSTRUCTIONS}, \"scheme\": \"baseline\", \"l1_prefetcher\": \"ipcp\"}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"wall_s\": {:.4}, \"simulated_cycles\": {}, \"ticks_executed\": {}, \"sim_cycles_per_sec\": {:.0}}}{}",
+            s.workload,
+            s.mode,
+            s.wall_s,
+            s.simulated_cycles,
+            s.ticks_executed,
+            s.cycles_per_sec(),
+            if i + 1 < samples.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    for (i, pair) in samples.chunks(2).enumerate() {
+        let speedup = pair[0].wall_s / pair[1].wall_s.max(1e-9);
+        let skipped =
+            100.0 * (1.0 - pair[1].ticks_executed as f64 / pair[1].simulated_cycles.max(1) as f64);
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"event_over_cycle\": {:.2}, \"idle_cycles_skipped_pct\": {:.1}}}{}",
+            pair[0].workload,
+            speedup,
+            skipped,
+            if (i + 1) * 2 < samples.len() { "," } else { "" },
+        );
+        println!(
+            "{}: cycle {:.3}s, event {:.3}s → {:.2}x (event executed {} of {} cycles, {:.1}% skipped)",
+            pair[0].workload,
+            pair[0].wall_s,
+            pair[1].wall_s,
+            speedup,
+            pair[1].ticks_executed,
+            pair[1].simulated_cycles,
+            skipped,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

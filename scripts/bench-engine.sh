@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Races the cycle engine against the event engine on memory-bound
+# workloads (one SPEC, one GAP) and writes BENCH_engine.json with, per
+# (workload, mode): wall-clock seconds, simulated cycles, executed ticks,
+# and simulated cycles/second — plus the event-over-cycle speedup and the
+# share of idle cycles skipped.
+#
+# Usage: scripts/bench-engine.sh [output.json]
+#
+# The race refuses to record a timing unless both engines produced
+# field-identical reports, so the JSON can never advertise a speedup
+# bought with accuracy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --example engine_race -- "${1:-BENCH_engine.json}"

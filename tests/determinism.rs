@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 
 use tlp::harness::experiments::{ext07_rl, fig01, fig03};
-use tlp::harness::{Harness, L1Pf, RunConfig, Scheme};
+use tlp::harness::{EngineMode, Harness, L1Pf, RunConfig, Scheme};
 
 /// Small but non-trivial budget: one workload per suite, four 4-core
 /// mixes, enough instructions to exercise prefetchers and the off-chip
@@ -127,6 +127,121 @@ fn warm_disk_cache_reproduces_cold_results_without_simulating() {
         warm.run_single(&w, Scheme::Tlp, L1Pf::Ipcp),
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The event engine must be a pure wall-clock optimization: every cell it
+/// simulates yields a `SimReport` bit-identical to the cycle engine's.
+/// Sampled over a pseudo-random slice of the evaluation grid (workload ×
+/// scheme × L1 prefetcher × bandwidth), plus a 4-core mix — the shapes
+/// with the most intra-cycle interleaving to get wrong.
+#[test]
+fn event_engine_cells_are_bit_identical_to_cycle_engine() {
+    let mut rc_cycle = rc_with_threads(2);
+    rc_cycle.engine = EngineMode::Cycle;
+    let mut rc_event = rc_with_threads(2);
+    rc_event.engine = EngineMode::Event;
+    let cyc = Harness::new(rc_cycle);
+    let evt = Harness::new(rc_event);
+    assert_eq!(cyc.rc.engine, EngineMode::Cycle);
+    assert_eq!(evt.rc.engine, EngineMode::Event);
+
+    // Deterministic xorshift sample over the full single-core grid.
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Ppf,
+        Scheme::Hermes,
+        Scheme::HermesPpf,
+        Scheme::Tlp,
+        Scheme::AthenaRl,
+    ];
+    let l1pfs = [L1Pf::Ipcp, L1Pf::Berti];
+    let bandwidths = [None, Some(12.8)];
+    let workloads = cyc.workloads();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut rand = move |bound: usize| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % bound as u64) as usize
+    };
+    let sample: Vec<(usize, usize, usize, usize)> = (0..10)
+        .map(|_| {
+            (
+                rand(workloads.len()),
+                rand(schemes.len()),
+                rand(l1pfs.len()),
+                rand(bandwidths.len()),
+            )
+        })
+        .collect();
+
+    for h in [&cyc, &evt] {
+        let cells = sample
+            .iter()
+            .map(|&(w, s, p, b)| {
+                h.cell_single(
+                    &h.workloads()[w].clone(),
+                    schemes[s],
+                    l1pfs[p],
+                    bandwidths[b],
+                )
+            })
+            .collect();
+        h.run_cells(cells);
+    }
+    for &(w, s, p, b) in &sample {
+        let wl_c = workloads[w].clone();
+        let wl_e = evt.workloads()[w].clone();
+        let a = cyc.run_single_with_bandwidth(&wl_c, schemes[s], l1pfs[p], bandwidths[b]);
+        let bb = evt.run_single_with_bandwidth(&wl_e, schemes[s], l1pfs[p], bandwidths[b]);
+        assert_eq!(
+            a,
+            bb,
+            "cell {} / {:?} / {:?} / {:?} differs between engines",
+            wl_c.name(),
+            schemes[s],
+            l1pfs[p],
+            bandwidths[b]
+        );
+    }
+
+    // A 4-core mix: shared LLC/DRAM contention across cores.
+    let mix = tlp::harness::mix::generate_mixes(&cyc.active_workloads(), 1)
+        .into_iter()
+        .next()
+        .expect("at least one mix");
+    let mix_e = tlp::harness::mix::generate_mixes(&evt.active_workloads(), 1)
+        .into_iter()
+        .next()
+        .expect("same mix catalog");
+    let a = cyc.run_mix(&mix.workloads, Scheme::Tlp, L1Pf::Ipcp, None);
+    let b = evt.run_mix(&mix_e.workloads, Scheme::Tlp, L1Pf::Ipcp, None);
+    assert_eq!(a, b, "mix report differs between engines");
+}
+
+/// Engine mode is not part of the content address: a disk cache written
+/// by the cycle engine serves the event engine (and vice versa) without
+/// re-simulating, because the reports are identical either way.
+#[test]
+fn engine_modes_share_the_result_cache() {
+    let dir = tmp_cache_dir("engine-share");
+    let mut rc = rc_with_threads(2);
+    rc.engine = EngineMode::Cycle;
+    let cold = Harness::new(rc).with_cache_dir(&dir).expect("cache dir");
+    let cold_fig01 = fig01::run(&cold);
+    assert!(cold.engine_stats().simulated > 0);
+
+    let mut rc = rc_with_threads(2);
+    rc.engine = EngineMode::Event;
+    let warm = Harness::new(rc).with_cache_dir(&dir).expect("cache dir");
+    let warm_fig01 = fig01::run(&warm);
+    assert_eq!(
+        warm.engine_stats().simulated,
+        0,
+        "event-mode run must be served entirely from the cycle-mode cache"
+    );
+    assert_eq!(cold_fig01.render(), warm_fig01.render());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
