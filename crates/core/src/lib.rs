@@ -38,6 +38,7 @@
 pub mod features;
 pub mod flp;
 pub mod offchip_base;
+pub mod params;
 pub mod slp;
 pub mod storage;
 pub mod variants;
@@ -45,6 +46,7 @@ pub mod variants;
 pub use features::{FeatureState, PageBuffer};
 pub use flp::{DelayMode, Flp, FlpConfig};
 pub use offchip_base::{OffChipPerceptron, OffChipPerceptronConfig};
+pub use params::{TlpParams, TLP_KNOB_KEYS};
 pub use slp::{Slp, SlpConfig};
 
 /// Full TLP configuration: the FLP and SLP halves plus the metadata-bearing
@@ -72,4 +74,101 @@ impl TlpConfig {
             l1d_mshr_entries: 10,
         }
     }
+}
+
+/// Registers this crate's components with a plugin registry (origin
+/// `tlp-core`):
+///
+/// * off-chip predictor **`flp`** — the First Level Perceptron.
+///   Parameters: the [`TLP_KNOB_KEYS`] sensitivity knobs (`tau_high`,
+///   `tau_low`, `tau_pref`, `resize` as `num/den`, `drop_feature`) plus
+///   `delay` = `never`|`always`|`selective`.
+/// * L1D prefetch filter **`slp`** — the Second Level Perceptron.
+///   Parameters: the knobs plus `leveling` = `true`|`false`.
+///
+/// With no knob parameters both factories materialize
+/// [`TlpConfig::paper`] exactly; any knob routes through
+/// [`TlpParams::build_config`], the same path the harness's sensitivity
+/// experiments use.
+///
+/// # Errors
+///
+/// Propagates registration collisions from the registry.
+pub fn register_builtin(
+    reg: &mut tlp_plugin::ComponentRegistry,
+) -> Result<(), tlp_plugin::PluginError> {
+    use std::sync::Arc;
+
+    use tlp_plugin::{Params, PluginError};
+
+    const ORIGIN: &str = "tlp-core";
+
+    fn base_config(component: &str, params: &Params) -> Result<TlpConfig, PluginError> {
+        if TlpParams::any_knobs(params) {
+            Ok(TlpParams::from_params(component, params)?.build_config())
+        } else {
+            Ok(TlpConfig::paper())
+        }
+    }
+
+    reg.register_offchip(
+        "flp",
+        ORIGIN,
+        Arc::new(|params, _ctx| {
+            params.allow_keys(
+                "flp",
+                &[
+                    "tau_high",
+                    "tau_low",
+                    "tau_pref",
+                    "resize",
+                    "drop_feature",
+                    "delay",
+                ],
+            )?;
+            let base = base_config("flp", params)?;
+            let delay = match params.get("delay") {
+                None => base.flp.delay,
+                Some("never") => DelayMode::Never,
+                Some("always") => DelayMode::Always,
+                Some("selective") => DelayMode::Selective,
+                Some(other) => {
+                    return Err(PluginError::InvalidParam {
+                        component: "flp".to_owned(),
+                        param: "delay".to_owned(),
+                        message: format!(
+                            "unknown mode '{other}' (expected never, always or selective)"
+                        ),
+                    })
+                }
+            };
+            Ok(Box::new(Flp::new(FlpConfig { delay, ..base.flp })))
+        }),
+    )?;
+    reg.register_l1_filter(
+        "slp",
+        ORIGIN,
+        Arc::new(|params, _ctx| {
+            params.allow_keys(
+                "slp",
+                &[
+                    "tau_high",
+                    "tau_low",
+                    "tau_pref",
+                    "resize",
+                    "drop_feature",
+                    "leveling",
+                ],
+            )?;
+            let base = base_config("slp", params)?;
+            let use_leveling = params
+                .get_parsed::<bool>("slp", "leveling")?
+                .unwrap_or(base.slp.use_leveling);
+            Ok(Box::new(Slp::new(SlpConfig {
+                use_leveling,
+                ..base.slp
+            })))
+        }),
+    )?;
+    Ok(())
 }

@@ -1,0 +1,297 @@
+//! Parameterized TLP knobs (the sensitivity extension experiments:
+//! threshold sweeps, drop-one-feature, storage resizing), plus their
+//! plugin-parameter round-trip.
+//!
+//! This type used to live in the harness; it moved here when component
+//! construction became registry-driven, so the `flp`/`slp` factories and
+//! the harness share one knob→config materialization.
+
+use tlp_plugin::{Params, PluginError};
+
+use crate::offchip_base::OffChipPerceptronConfig;
+use crate::TlpConfig;
+
+/// Knobs for a parameterized TLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlpParams {
+    /// FLP issue-immediately threshold τ_high.
+    pub tau_high: i32,
+    /// FLP predict-off-chip threshold τ_low.
+    pub tau_low: i32,
+    /// SLP discard threshold τ_pref.
+    pub tau_pref: i32,
+    /// Weight-table resize factor `(num, den)`; `(1, 1)` is Table II.
+    pub resize: (u8, u8),
+    /// Base feature dropped from both FLP and SLP (None = all five).
+    pub drop_feature: Option<u8>,
+}
+
+/// The parameter keys [`TlpParams::from_params`] understands; a reference
+/// carrying any of them materializes through the knob path.
+pub const TLP_KNOB_KEYS: [&str; 5] = ["tau_high", "tau_low", "tau_pref", "resize", "drop_feature"];
+
+impl TlpParams {
+    /// The paper's operating point.
+    #[must_use]
+    pub fn paper() -> Self {
+        let flp = crate::FlpConfig::paper();
+        let slp = crate::SlpConfig::paper();
+        Self {
+            tau_high: flp.tau_high,
+            tau_low: flp.tau_low,
+            tau_pref: slp.tau_pref,
+            resize: (1, 1),
+            drop_feature: None,
+        }
+    }
+
+    /// Materializes a [`TlpConfig`] with these knobs applied.
+    #[must_use]
+    pub fn build_config(self) -> TlpConfig {
+        let perceptron = match self.drop_feature {
+            Some(i) => OffChipPerceptronConfig::without_feature(i as usize),
+            None => {
+                OffChipPerceptronConfig::resized(self.resize.0 as usize, self.resize.1 as usize)
+            }
+        };
+        let mut cfg = TlpConfig::paper();
+        cfg.flp.perceptron = perceptron;
+        cfg.flp.tau_high = self.tau_high;
+        cfg.flp.tau_low = self.tau_low;
+        cfg.slp.perceptron = perceptron;
+        cfg.slp.tau_pref = self.tau_pref;
+        // The leveling table resizes with the rest of the budget.
+        let scaled = (cfg.slp.leveling_table * self.resize.0 as usize / self.resize.1 as usize)
+            .max(16)
+            .next_power_of_two();
+        cfg.slp.leveling_table = if scaled.is_power_of_two() && scaled <= 4096 {
+            scaled
+        } else {
+            512
+        };
+        cfg
+    }
+
+    /// A short display label, e.g. `τh=14 τl=2 τp=6`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "τh={} τl={} τp={}",
+            self.tau_high, self.tau_low, self.tau_pref
+        );
+        if self.resize != (1, 1) {
+            s.push_str(&format!(" ×{}/{}", self.resize.0, self.resize.1));
+        }
+        if let Some(f) = self.drop_feature {
+            s.push_str(&format!(" -f{f}"));
+        }
+        s
+    }
+
+    /// The canonical cache-key body, built from named fields. The format
+    /// is pinned byte-for-byte to the historical derived-`Debug`
+    /// rendering (`TlpParams { tau_high: .., .., drop_feature: .. }`) so
+    /// every pre-registry cache entry and fixture stays addressable —
+    /// unlike `format!("{self:?}")`, it can no longer silently change
+    /// when a field is renamed or reordered.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let drop_feature = match self.drop_feature {
+            None => "None".to_owned(),
+            Some(f) => format!("Some({f})"),
+        };
+        format!(
+            "TlpParams {{ tau_high: {}, tau_low: {}, tau_pref: {}, resize: ({}, {}), drop_feature: {} }}",
+            self.tau_high, self.tau_low, self.tau_pref, self.resize.0, self.resize.1, drop_feature
+        )
+    }
+
+    /// Whether a parameter map carries any TLP knob key.
+    #[must_use]
+    pub fn any_knobs(params: &Params) -> bool {
+        TLP_KNOB_KEYS.iter().any(|k| params.get(k).is_some())
+    }
+
+    /// Parses knobs from a plugin parameter map; absent keys keep their
+    /// paper defaults. `resize` is spelled `num/den` (e.g. `1/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PluginError::InvalidParam`] for unparseable values.
+    pub fn from_params(component: &str, params: &Params) -> Result<Self, PluginError> {
+        let mut p = Self::paper();
+        if let Some(v) = params.get_parsed::<i32>(component, "tau_high")? {
+            p.tau_high = v;
+        }
+        if let Some(v) = params.get_parsed::<i32>(component, "tau_low")? {
+            p.tau_low = v;
+        }
+        if let Some(v) = params.get_parsed::<i32>(component, "tau_pref")? {
+            p.tau_pref = v;
+        }
+        if let Some(raw) = params.get("resize") {
+            let parts: Vec<&str> = raw.split('/').collect();
+            let parsed = if parts.len() == 2 {
+                match (parts[0].parse::<u8>(), parts[1].parse::<u8>()) {
+                    (Ok(n), Ok(d)) if n > 0 && d > 0 => Some((n, d)),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            p.resize = parsed.ok_or_else(|| PluginError::InvalidParam {
+                component: component.to_owned(),
+                param: "resize".to_owned(),
+                message: format!("expected 'num/den' with positive factors, got '{raw}'"),
+            })?;
+        }
+        if let Some(v) = params.get_parsed::<u8>(component, "drop_feature")? {
+            if usize::from(v) >= crate::features::NUM_BASE_FEATURES {
+                return Err(PluginError::InvalidParam {
+                    component: component.to_owned(),
+                    param: "drop_feature".to_owned(),
+                    message: format!(
+                        "feature index {v} out of range (< {})",
+                        crate::features::NUM_BASE_FEATURES
+                    ),
+                });
+            }
+            p.drop_feature = Some(v);
+        }
+        Ok(p)
+    }
+
+    /// Renders the knobs as a plugin parameter map (the inverse of
+    /// [`TlpParams::from_params`]). All three thresholds are always
+    /// emitted; `resize`/`drop_feature` only when off-default, keeping
+    /// derived component keys short.
+    #[must_use]
+    pub fn to_params(&self) -> Params {
+        let mut p = Params::new()
+            .with("tau_high", self.tau_high)
+            .with("tau_low", self.tau_low)
+            .with("tau_pref", self.tau_pref);
+        if self.resize != (1, 1) {
+            p.set("resize", format!("{}/{}", self.resize.0, self.resize.1));
+        }
+        if let Some(f) = self.drop_feature {
+            p.set("drop_feature", f);
+        }
+        p
+    }
+}
+
+impl Default for TlpParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_key_is_pinned_to_the_historical_debug_string() {
+        // Literal pin: the exact pre-registry cache-key body. If this
+        // test fails, warm caches and golden fixtures are invalidated —
+        // do not "fix" the expectation without bumping CODE_VERSION.
+        assert_eq!(
+            TlpParams::paper().canonical_key(),
+            "TlpParams { tau_high: 14, tau_low: 2, tau_pref: 6, resize: (1, 1), drop_feature: None }"
+        );
+        // And the general property: byte-identical to derived Debug for
+        // arbitrary knob values, including Some(drop_feature).
+        let p = TlpParams {
+            tau_high: 20,
+            tau_low: 4,
+            tau_pref: 10,
+            resize: (1, 2),
+            drop_feature: Some(3),
+        };
+        assert_eq!(p.canonical_key(), format!("{p:?}"));
+        assert_eq!(
+            TlpParams::paper().canonical_key(),
+            format!("{:?}", TlpParams::paper())
+        );
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = TlpParams {
+            tau_high: 20,
+            tau_low: 4,
+            tau_pref: 10,
+            resize: (1, 2),
+            drop_feature: Some(3),
+        };
+        let map = p.to_params();
+        assert!(TlpParams::any_knobs(&map));
+        assert_eq!(TlpParams::from_params("flp", &map).unwrap(), p);
+        let paper = TlpParams::paper();
+        assert_eq!(
+            TlpParams::from_params("flp", &paper.to_params()).unwrap(),
+            paper
+        );
+        assert!(!TlpParams::any_knobs(&Params::new()));
+    }
+
+    #[test]
+    fn bad_knob_values_are_rejected() {
+        for (k, v) in [
+            ("tau_high", "loud"),
+            ("resize", "3"),
+            ("resize", "0/2"),
+            ("resize", "a/b"),
+            ("drop_feature", "9"),
+        ] {
+            let map = Params::new().with(k, v);
+            assert!(
+                TlpParams::from_params("flp", &map).is_err(),
+                "{k}={v} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_params_materialize() {
+        let p = TlpParams {
+            tau_high: 20,
+            tau_low: 4,
+            tau_pref: 10,
+            resize: (1, 2),
+            drop_feature: None,
+        };
+        let cfg = p.build_config();
+        assert_eq!(cfg.flp.tau_high, 20);
+        assert_eq!(cfg.flp.tau_low, 4);
+        assert_eq!(cfg.slp.tau_pref, 10);
+        assert_eq!(cfg.flp.perceptron.table_sizes[0], 512);
+        assert_eq!(cfg.slp.perceptron.table_sizes[0], 512);
+    }
+
+    #[test]
+    fn paper_params_reproduce_paper_config() {
+        let cfg = TlpParams::paper().build_config();
+        let paper = TlpConfig::paper();
+        assert_eq!(cfg.flp.tau_high, paper.flp.tau_high);
+        assert_eq!(cfg.flp.tau_low, paper.flp.tau_low);
+        assert_eq!(cfg.slp.tau_pref, paper.slp.tau_pref);
+        assert_eq!(
+            cfg.flp.perceptron.table_sizes,
+            paper.flp.perceptron.table_sizes
+        );
+        assert_eq!(cfg.slp.leveling_table, paper.slp.leveling_table);
+    }
+
+    #[test]
+    fn drop_feature_params_shrink_tables() {
+        let p = TlpParams {
+            drop_feature: Some(0),
+            ..TlpParams::paper()
+        };
+        let cfg = p.build_config();
+        assert_eq!(cfg.flp.perceptron.enabled_count(), 4);
+        assert!(p.label().contains("-f0"));
+    }
+}

@@ -162,7 +162,7 @@ impl L1PrefetchFilter for Slp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlp_sim::hooks::OffChipTag;
+    use tlp_sim::hooks::{OffChipDecision, OffChipTag};
 
     fn ctx(trigger_pc: u64, pf_paddr: u64, trigger_offchip: bool) -> L1FilterCtx {
         L1FilterCtx {
@@ -171,7 +171,11 @@ mod tests {
             trigger_vaddr: 0x1000,
             pf_vaddr: pf_paddr,
             pf_paddr,
-            trigger_tag: OffChipTag::from_offchip_bit(trigger_offchip),
+            trigger_tag: OffChipTag::from_decision(if trigger_offchip {
+                OffChipDecision::IssueOnL1dMiss
+            } else {
+                OffChipDecision::NoIssue
+            }),
             cycle: 0,
         }
     }

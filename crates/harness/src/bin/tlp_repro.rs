@@ -4,6 +4,8 @@
 //! ```text
 //! tlp-repro [--test|--quick|--full] [--engine cycle|event] [--jobs N]
 //!           [--cache-dir DIR] [fig1 fig2 ... | all]
+//!           [--scheme NAME [--l1pf NAME]]
+//!           [--list-schemes] [--list-prefetchers] [--list-components]
 //! ```
 //!
 //! Simulations run through the harness's content-addressed run engine:
@@ -27,7 +29,8 @@ use tlp_harness::experiments::{
     fig14, fig15, fig16, fig17, tables,
 };
 use tlp_harness::report::ExperimentResult;
-use tlp_harness::{Harness, L1Pf, RunConfig};
+use tlp_harness::{Harness, L1Pf, RunConfig, Session};
+use tlp_plugin::Seam;
 
 const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -38,35 +41,13 @@ const ALL_EXPERIMENTS: [&str; 23] = [
 /// Experiment names accepted on the command line beyond [`ALL_EXPERIMENTS`].
 const EXTRA_NAMES: [&str; 2] = ["table45", "all"];
 
-/// Levenshtein edit distance (small inputs; O(len²) is fine).
-fn edit_distance(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
-        let mut cur = vec![i + 1];
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
-        }
-        prev = cur;
-    }
-    prev[b.len()]
-}
-
-/// The closest known experiment names, best first (the "did you mean" list).
-fn suggestions(unknown: &str) -> Vec<&'static str> {
-    let mut scored: Vec<(usize, &'static str)> = ALL_EXPERIMENTS
-        .iter()
-        .chain(EXTRA_NAMES.iter())
-        .map(|&n| (edit_distance(unknown, n), n))
-        .collect();
-    scored.sort();
-    scored
-        .into_iter()
-        .take_while(|&(d, _)| d <= 3)
-        .take(3)
-        .map(|(_, n)| n)
-        .collect()
+/// The closest known experiment names, best first (the "did you mean"
+/// list; same machinery the registry uses for `--scheme`/`--l1pf`).
+fn suggestions(unknown: &str) -> Vec<String> {
+    tlp_plugin::suggest(
+        unknown,
+        ALL_EXPERIMENTS.iter().chain(EXTRA_NAMES.iter()).copied(),
+    )
 }
 
 fn main() {
@@ -79,9 +60,58 @@ fn main() {
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut no_cache = false;
     let mut engine: Option<tlp_sim::EngineMode> = None;
+    let mut schemes: Vec<String> = Vec::new();
+    let mut l1pf_name: String = "ipcp".to_owned();
+    let mut l1pf_given = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--scheme" => match it.next() {
+                Some(name) => schemes.push(name.clone()),
+                None => {
+                    eprintln!("--scheme requires a scheme name (--list-schemes shows all)");
+                    std::process::exit(2);
+                }
+            },
+            "--l1pf" => match it.next() {
+                Some(name) => {
+                    l1pf_name = name.clone();
+                    l1pf_given = true;
+                }
+                None => {
+                    eprintln!("--l1pf requires a prefetcher name (--list-prefetchers shows all)");
+                    std::process::exit(2);
+                }
+            },
+            "--list-schemes" => {
+                let reg = tlp_harness::builtin_registry();
+                println!("{:<24} {:<8} {:<14} composition", "name", "kind", "origin");
+                for s in reg.schemes() {
+                    println!(
+                        "{:<24} {:<8} {:<14} {}",
+                        s.name, "scheme", s.origin, s.composition
+                    );
+                }
+                return;
+            }
+            "--list-prefetchers" => {
+                let reg = tlp_harness::builtin_registry();
+                println!("{:<24} {:<20} origin", "name", "kind");
+                for seam in [Seam::L1Prefetcher, Seam::L2Prefetcher] {
+                    for c in reg.components_of(seam) {
+                        println!("{:<24} {:<20} {}", c.name, c.seam.label(), c.origin);
+                    }
+                }
+                return;
+            }
+            "--list-components" => {
+                let reg = tlp_harness::builtin_registry();
+                println!("{:<24} {:<20} origin", "name", "kind");
+                for c in reg.components() {
+                    println!("{:<24} {:<20} {}", c.name, c.seam.label(), c.origin);
+                }
+                return;
+            }
             "--engine" => match it.next().map(|v| v.parse::<tlp_sim::EngineMode>()) {
                 Some(Ok(mode)) => engine = Some(mode),
                 Some(Err(e)) => {
@@ -130,7 +160,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "tlp-repro [--test|--quick|--full] [--list] [--all] [--engine cycle|event] [--jobs N] [--cache-dir DIR] [--no-cache] [--json] [--csv] [--chart] [--out DIR] [experiments...]\n\
+                    "tlp-repro [--test|--quick|--full] [--list] [--all] [--engine cycle|event] [--jobs N] [--cache-dir DIR] [--no-cache] [--json] [--csv] [--chart] [--out DIR] [--scheme NAME]... [--l1pf NAME] [experiments...]\n\
                      experiments: {} table45 all\n\
                      --list prints the experiment ids, one per line\n\
                      --all runs every experiment (same as the `all` operand)\n\
@@ -140,7 +170,11 @@ fn main() {
                      --cache-dir DIR persists simulation results on disk; a re-run is simulation-free\n\
                      --no-cache disables the on-disk tier (the in-process cache always dedups the grid)\n\
                      --json/--csv write <id>.json/<id>.csv per result into --out DIR (default: results/)\n\
-                     --chart also prints each result's first column as an ASCII bar chart",
+                     --chart also prints each result's first column as an ASCII bar chart\n\
+                     --scheme NAME sweeps one registered scheme over the active workloads (repeatable)\n\
+                     --l1pf NAME picks the L1D prefetcher for --scheme sweeps (default: ipcp)\n\
+                     --list-schemes / --list-prefetchers / --list-components print the composition registry\n\
+                     (--list-components covers all five seams: off-chip predictors, prefetchers, filters)",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -172,7 +206,7 @@ fn main() {
         }
         std::process::exit(2);
     }
-    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+    if requested.iter().any(|r| r == "all") || (requested.is_empty() && schemes.is_empty()) {
         requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
         requested.push("table45".into());
     }
@@ -183,16 +217,40 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let mut h = Harness::new(rc);
+    let mut session = Session::new(rc);
     if let (Some(dir), false) = (&cache_dir, no_cache) {
-        h = match h.with_cache_dir(dir) {
-            Ok(h) => h,
+        session = match session.with_cache_dir(dir) {
+            Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot open cache dir {}: {e}", dir.display());
                 std::process::exit(1);
             }
         };
     }
+    // Validate scheme/prefetcher names before simulating anything: an
+    // unknown name exits 2 with a did-you-mean list, exactly like an
+    // unknown experiment id.
+    let mut bad_names = false;
+    for name in &schemes {
+        if let Err(e) = session.resolve_scheme_name(name) {
+            eprintln!("{e} (--list-schemes shows all)");
+            bad_names = true;
+        }
+    }
+    if l1pf_given || !schemes.is_empty() {
+        if let Err(e) = session.resolve_l1pf_name(&l1pf_name) {
+            eprintln!("{e} (--list-prefetchers shows all)");
+            bad_names = true;
+        }
+        if l1pf_given && schemes.is_empty() {
+            eprintln!("--l1pf only applies to --scheme sweeps; add --scheme NAME");
+            bad_names = true;
+        }
+    }
+    if bad_names {
+        std::process::exit(2);
+    }
+    let h = session.harness();
     eprintln!(
         "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads, {} engine",
         rc.scale,
@@ -202,9 +260,7 @@ fn main() {
         rc.threads,
         rc.engine,
     );
-    for exp in &requested {
-        let t0 = std::time::Instant::now();
-        let results = run_experiment(&h, exp, rc);
+    let emit_results = |tag: &str, results: Vec<ExperimentResult>, t0: std::time::Instant| {
         for r in results {
             println!("{}", r.render());
             for fmt in &formats {
@@ -230,7 +286,28 @@ fn main() {
                 }
             }
         }
-        eprintln!("# {exp} took {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!("# {tag} took {:.1}s", t0.elapsed().as_secs_f64());
+    };
+    for exp in &requested {
+        let t0 = std::time::Instant::now();
+        let results = run_experiment(h, exp, rc);
+        emit_results(exp, results, t0);
+    }
+    for name in &schemes {
+        let t0 = std::time::Instant::now();
+        let spec = session
+            .registry()
+            .scheme(name)
+            .expect("validated above")
+            .clone();
+        let table = match session.scheme_table(&spec, &l1pf_name) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--scheme {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        emit_results(&format!("scheme {name}"), vec![table], t0);
     }
     // The run-engine summary (CI's cache-behavior job asserts on it: a
     // warm-cache run must report simulated=0 and hit_rate=100.0%). The
@@ -239,7 +316,7 @@ fn main() {
     println!(
         "# run-engine: engine={} {}",
         rc.engine,
-        h.engine_stats().summary_line()
+        session.engine_stats().summary_line()
     );
 }
 

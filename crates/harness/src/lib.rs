@@ -21,11 +21,15 @@
 pub mod cache;
 pub mod experiments;
 pub mod mix;
+pub mod plugins;
 pub mod report;
 pub mod runner;
 pub mod scheme;
+pub mod session;
 
 pub use cache::{EngineStats, RunKey};
+pub use plugins::builtin_registry;
 pub use runner::{Harness, RunCell, RunConfig};
 pub use scheme::{L1Pf, Scheme, TlpParams};
+pub use session::{Session, SessionError};
 pub use tlp_sim::EngineMode;

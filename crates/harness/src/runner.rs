@@ -15,14 +15,15 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use tlp_sim::engine::System;
+use tlp_plugin::{BuildCtx, ResolvedScheme};
+use tlp_sim::engine::{CoreSetup, System};
 use tlp_sim::{EngineMode, SimReport, SystemConfig};
 use tlp_trace::catalog::{self, Scale};
 use tlp_trace::emit::Workload;
 use tlp_trace::{TraceRecord, VecTrace};
 
 use crate::cache::{self, DiskCache, EngineStats, ResultCache, RunKey};
-use crate::scheme::{L1Pf, Scheme};
+use crate::scheme::{L1Pf, ResolvedL1Pf, Scheme};
 
 /// Simulation budgets and scale for a harness session.
 #[derive(Debug, Clone, Copy)]
@@ -132,20 +133,20 @@ pub struct RunCell {
 enum CellKind {
     Single {
         workload: Arc<dyn Workload>,
-        scheme: Scheme,
-        l1pf: L1Pf,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
         gbps: Option<f64>,
     },
     Mix {
         workloads: [Arc<dyn Workload>; 4],
-        scheme: Scheme,
-        l1pf: L1Pf,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
         gbps: Option<f64>,
     },
     Custom {
         workload: Arc<dyn Workload>,
-        scheme: Scheme,
-        l1pf: L1Pf,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
         cfg: Box<SystemConfig>,
     },
 }
@@ -307,11 +308,26 @@ impl Harness {
         l1pf: L1Pf,
         gbps: Option<f64>,
     ) -> RunCell {
+        self.cell_single_spec(w, scheme.resolve(), l1pf.resolve(), gbps)
+    }
+
+    /// Describes a single-core cell for a resolved (possibly custom)
+    /// scheme — the registry-backed twin of [`Harness::cell_single`].
+    /// The scheme's [`cache_key`](ResolvedScheme::cache_key) and the
+    /// prefetcher's canonical fragment feed the content address.
+    #[must_use]
+    pub fn cell_single_spec(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
+        gbps: Option<f64>,
+    ) -> RunCell {
         let desc = cache::single_desc(
             &self.env_desc(),
             w.name(),
-            &scheme.key(),
-            l1pf.name(),
+            &scheme.cache_key,
+            &l1pf.key,
             &cache::bandwidth_desc(gbps),
         );
         RunCell {
@@ -335,11 +351,23 @@ impl Harness {
         l1pf: L1Pf,
         gbps: Option<f64>,
     ) -> RunCell {
+        self.cell_mix_spec(ws, scheme.resolve(), l1pf.resolve(), gbps)
+    }
+
+    /// Describes a 4-core mix cell for a resolved scheme.
+    #[must_use]
+    pub fn cell_mix_spec(
+        &self,
+        ws: &[Arc<dyn Workload>; 4],
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
+        gbps: Option<f64>,
+    ) -> RunCell {
         let desc = cache::mix_desc(
             &self.env_desc(),
             [ws[0].name(), ws[1].name(), ws[2].name(), ws[3].name()],
-            &scheme.key(),
-            l1pf.name(),
+            &scheme.cache_key,
+            &l1pf.key,
             &cache::bandwidth_desc(gbps),
         );
         RunCell {
@@ -382,11 +410,23 @@ impl Harness {
             label: desc,
             kind: CellKind::Custom {
                 workload: Arc::clone(w),
-                scheme,
-                l1pf,
+                scheme: scheme.resolve(),
+                l1pf: l1pf.resolve(),
                 cfg: Box::new(cfg),
             },
         }
+    }
+
+    /// Assembles one core's system through the resolved scheme's
+    /// factories. A factory failure here is a panic, not an error: cell
+    /// creation goes through registry resolution, so by the time a cell
+    /// simulates, its names were valid — only a parameter a factory
+    /// rejects at build time can still fail, and that aborts the run
+    /// loudly with the scheme named.
+    fn assemble(&self, scheme: &ResolvedScheme, l1pf: &ResolvedL1Pf, trace: VecTrace) -> CoreSetup {
+        scheme
+            .build_setup(Box::new(trace), Some(l1pf), &mut BuildCtx::new())
+            .unwrap_or_else(|e| panic!("cannot assemble scheme '{}': {e}", scheme.name))
     }
 
     /// Simulates one cell from scratch (no cache involvement). Each cell
@@ -404,7 +444,7 @@ impl Harness {
                     Some(b) => SystemConfig::cascade_lake_with_bandwidth(1, *b),
                     None => SystemConfig::cascade_lake(1),
                 };
-                let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
+                let setup = self.assemble(scheme, l1pf, self.trace_for(workload));
                 System::new(cfg, vec![setup])
                     .with_engine_mode(self.rc.engine)
                     .run(self.rc.warmup, self.rc.instructions)
@@ -421,7 +461,7 @@ impl Harness {
                 };
                 let setups = workloads
                     .iter()
-                    .map(|w| scheme.build_setup(Box::new(self.trace_for(w)), *l1pf))
+                    .map(|w| self.assemble(scheme, l1pf, self.trace_for(w)))
                     .collect();
                 System::new(cfg, setups)
                     .with_engine_mode(self.rc.engine)
@@ -433,7 +473,7 @@ impl Harness {
                 l1pf,
                 cfg,
             } => {
-                let setup = scheme.build_setup(Box::new(self.trace_for(workload)), *l1pf);
+                let setup = self.assemble(scheme, l1pf, self.trace_for(workload));
                 System::new((**cfg).clone(), vec![setup])
                     .with_engine_mode(self.rc.engine)
                     .run(self.rc.warmup, self.rc.instructions)

@@ -1,14 +1,40 @@
 //! The evaluated schemes (paper §V-E plus extension studies) and L1D
-//! prefetcher choices.
+//! prefetcher choices, as thin constructors over the plugin registry.
+//!
+//! Before the registry existed, this module *was* the composition layer:
+//! closed enums with a hard-coded `build_setup` match. The enums remain —
+//! they are the convenient, type-safe spelling the experiments use — but
+//! each variant now merely names a [`SchemeSpec`] composed from
+//! registry-backed components ([`Scheme::to_spec`]), and the component
+//! construction itself lives with the component crates
+//! (`tlp_core::register_builtin`, `tlp_prefetch::register_builtin`, ...).
+//! Adding a new composition no longer means editing this file: register
+//! components, build a spec, run it through
+//! [`Session`](crate::session::Session) or `tlp_repro --scheme`.
+//!
+//! Cache-key discipline: every variant pins its pre-registry key
+//! ([`SchemeSpec::pinned_key`]), so the `RunKey` of every built-in cell
+//! is byte-identical to the pre-refactor harness — golden fixtures and
+//! on-disk caches survive. `tests/plugin_api.rs` pins the full key list.
 
-use tlp_baselines::{Hermes, HermesConfig, Lp, LpConfig, Ppf, PpfConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use tlp_core::variants::TlpVariant;
-use tlp_core::{Flp, OffChipPerceptronConfig, Slp, TlpConfig};
-use tlp_prefetch::{Berti, Ipcp, NextLine, Spp, SppConfig, StridePrefetcher};
-use tlp_rl::{shared_agent, RlConfig, RlOffChip, RlPrefetchFilter, SharedAgent};
+use tlp_plugin::{
+    BuildCtx, ComponentRef, L1PrefetcherFactory, ResolvedComponent, ResolvedScheme, SchemeSpec,
+};
+use tlp_rl::SharedAgent;
 use tlp_sim::engine::CoreSetup;
-use tlp_sim::hooks::L1Prefetcher;
 use tlp_trace::TraceSource;
+
+pub use tlp_core::TlpParams;
+
+use crate::plugins::builtin_registry;
+
+/// A resolved L1D prefetcher choice (the second axis of the evaluation
+/// grid), ready to build on worker threads.
+pub type ResolvedL1Pf = ResolvedComponent<L1PrefetcherFactory>;
 
 /// The L1D prefetcher driving the system (the paper evaluates IPCP and
 /// Berti; the rest support tests and ablations).
@@ -31,7 +57,19 @@ pub enum L1Pf {
 }
 
 impl L1Pf {
-    /// Display name.
+    /// All variants, in display order.
+    pub const ALL: [L1Pf; 7] = [
+        L1Pf::None,
+        L1Pf::Ipcp,
+        L1Pf::Berti,
+        L1Pf::IpcpExtra,
+        L1Pf::BertiExtra,
+        L1Pf::NextLine,
+        L1Pf::Stride,
+    ];
+
+    /// Display name — also the registered component name, so it doubles
+    /// as the cache-key fragment and the `--l1pf` spelling.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -45,97 +83,29 @@ impl L1Pf {
         }
     }
 
-    fn build(self) -> Box<dyn L1Prefetcher> {
-        match self {
-            L1Pf::None => Box::new(tlp_sim::hooks::NoL1Prefetcher),
-            L1Pf::Ipcp => Box::new(Ipcp::new()),
-            L1Pf::Berti => Box::new(Berti::new()),
-            L1Pf::IpcpExtra => Box::new(Ipcp::with_scale(4)),
-            L1Pf::BertiExtra => Box::new(Berti::with_scale(4)),
-            L1Pf::NextLine => Box::new(NextLine::new(1)),
-            L1Pf::Stride => Box::new(StridePrefetcher::default()),
+    /// The registry reference for this choice.
+    #[must_use]
+    pub fn to_ref(self) -> ComponentRef {
+        ComponentRef::new(self.name())
+    }
+
+    /// Resolves against the built-in registry (memoized — cell creation
+    /// calls this once per grid cell).
+    #[must_use]
+    pub fn resolve(self) -> Arc<ResolvedL1Pf> {
+        static CACHE: std::sync::OnceLock<parking_lot::Mutex<HashMap<L1Pf, Arc<ResolvedL1Pf>>>> =
+            std::sync::OnceLock::new();
+        let cache = CACHE.get_or_init(Default::default);
+        if let Some(r) = cache.lock().get(&self) {
+            return Arc::clone(r);
         }
-    }
-}
-
-/// Knobs for a parameterized TLP (the sensitivity extension experiments:
-/// threshold sweeps, drop-one-feature, storage resizing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TlpParams {
-    /// FLP issue-immediately threshold τ_high.
-    pub tau_high: i32,
-    /// FLP predict-off-chip threshold τ_low.
-    pub tau_low: i32,
-    /// SLP discard threshold τ_pref.
-    pub tau_pref: i32,
-    /// Weight-table resize factor `(num, den)`; `(1, 1)` is Table II.
-    pub resize: (u8, u8),
-    /// Base feature dropped from both FLP and SLP (None = all five).
-    pub drop_feature: Option<u8>,
-}
-
-impl TlpParams {
-    /// The paper's operating point.
-    #[must_use]
-    pub fn paper() -> Self {
-        let flp = tlp_core::FlpConfig::paper();
-        let slp = tlp_core::SlpConfig::paper();
-        Self {
-            tau_high: flp.tau_high,
-            tau_low: flp.tau_low,
-            tau_pref: slp.tau_pref,
-            resize: (1, 1),
-            drop_feature: None,
-        }
-    }
-
-    /// Materializes a [`TlpConfig`] with these knobs applied.
-    #[must_use]
-    pub fn build_config(self) -> TlpConfig {
-        let perceptron = match self.drop_feature {
-            Some(i) => OffChipPerceptronConfig::without_feature(i as usize),
-            None => {
-                OffChipPerceptronConfig::resized(self.resize.0 as usize, self.resize.1 as usize)
-            }
-        };
-        let mut cfg = TlpConfig::paper();
-        cfg.flp.perceptron = perceptron;
-        cfg.flp.tau_high = self.tau_high;
-        cfg.flp.tau_low = self.tau_low;
-        cfg.slp.perceptron = perceptron;
-        cfg.slp.tau_pref = self.tau_pref;
-        // The leveling table resizes with the rest of the budget.
-        let scaled = (cfg.slp.leveling_table * self.resize.0 as usize / self.resize.1 as usize)
-            .max(16)
-            .next_power_of_two();
-        cfg.slp.leveling_table = if scaled.is_power_of_two() && scaled <= 4096 {
-            scaled
-        } else {
-            512
-        };
-        cfg
-    }
-
-    /// A short display label, e.g. `τh=14 τl=2 τp=6`.
-    #[must_use]
-    pub fn label(&self) -> String {
-        let mut s = format!(
-            "τh={} τl={} τp={}",
-            self.tau_high, self.tau_low, self.tau_pref
+        let resolved = Arc::new(
+            builtin_registry()
+                .resolve_l1_prefetcher(&self.to_ref())
+                .expect("every L1Pf variant is a registered built-in"),
         );
-        if self.resize != (1, 1) {
-            s.push_str(&format!(" ×{}/{}", self.resize.0, self.resize.1));
-        }
-        if let Some(f) = self.drop_feature {
-            s.push_str(&format!(" -f{f}"));
-        }
-        s
-    }
-}
-
-impl Default for TlpParams {
-    fn default() -> Self {
-        Self::paper()
+        cache.lock().insert(self, Arc::clone(&resolved));
+        resolved
     }
 }
 
@@ -174,6 +144,11 @@ pub enum Scheme {
     AthenaRl,
 }
 
+/// Standard SPP at the L2 (the shared substrate of most schemes).
+fn spp_standard() -> ComponentRef {
+    ComponentRef::new("spp").param("profile", "standard")
+}
+
 impl Scheme {
     /// The four headline schemes of Figures 10–14.
     pub const HEADLINE: [Scheme; 4] = [Scheme::Ppf, Scheme::Hermes, Scheme::HermesPpf, Scheme::Tlp];
@@ -196,116 +171,188 @@ impl Scheme {
         }
     }
 
-    /// Stable key for caches.
+    /// Stable key for caches. These strings predate the registry and
+    /// address every historical fixture and on-disk cache entry; the
+    /// spec produced by [`Scheme::to_spec`] pins exactly this value.
     #[must_use]
     pub fn key(self) -> String {
         match self {
             Scheme::Variant(v) => format!("variant:{}", v.name()),
-            Scheme::TlpCustom(p) => format!("tlp:{p:?}"),
+            Scheme::TlpCustom(p) => format!("tlp:{}", p.canonical_key()),
             other => other.name().to_owned(),
         }
+    }
+
+    /// The registry-backed spec this enum variant names.
+    #[must_use]
+    pub fn to_spec(self) -> SchemeSpec {
+        let spec = SchemeSpec::new(self.name()).pinned_key(self.key());
+        match self {
+            Scheme::Baseline => spec.l2_prefetcher(spp_standard()),
+            Scheme::Ppf => spec
+                .l2_prefetcher(ComponentRef::new("spp").param("profile", "aggressive"))
+                .l2_filter("ppf"),
+            Scheme::Hermes => spec.l2_prefetcher(spp_standard()).offchip("hermes"),
+            Scheme::HermesPpf => spec
+                .l2_prefetcher(ComponentRef::new("spp").param("profile", "aggressive"))
+                .l2_filter("ppf")
+                .offchip("hermes"),
+            Scheme::Tlp => variant_spec(spec, TlpVariant::Full),
+            Scheme::Variant(v) => variant_spec(spec, v),
+            Scheme::HermesExtra => spec
+                .l2_prefetcher(spp_standard())
+                .offchip(ComponentRef::new("hermes").param("storage", "extra")),
+            Scheme::Lp => spec.l2_prefetcher(spp_standard()).offchip("lp"),
+            Scheme::TlpCustom(p) => spec
+                .l2_prefetcher(spp_standard())
+                .offchip(ComponentRef {
+                    name: "flp".to_owned(),
+                    params: p.to_params(),
+                })
+                .l1_filter(ComponentRef {
+                    name: "slp".to_owned(),
+                    params: p.to_params(),
+                }),
+            Scheme::HermesTlp => spec
+                .l2_prefetcher(spp_standard())
+                .offchip(ComponentRef::new("flp").param("delay", "never"))
+                .l1_filter("slp"),
+            Scheme::AthenaRl => spec
+                .l2_prefetcher(spp_standard())
+                .offchip("athena-rl")
+                .l1_filter("athena-rl-filter"),
+        }
+    }
+
+    /// Resolves against the built-in registry. Memoized: cell creation
+    /// calls this once per grid cell, and a `--all` run plans thousands
+    /// of cells over a handful of distinct schemes (the `TlpCustom`
+    /// family is bounded by the sensitivity experiments' sweep points).
+    #[must_use]
+    pub fn resolve(self) -> Arc<ResolvedScheme> {
+        static CACHE: std::sync::OnceLock<
+            parking_lot::Mutex<HashMap<Scheme, Arc<ResolvedScheme>>>,
+        > = std::sync::OnceLock::new();
+        let cache = CACHE.get_or_init(Default::default);
+        if let Some(r) = cache.lock().get(&self) {
+            return Arc::clone(r);
+        }
+        let resolved = Arc::new(
+            builtin_registry()
+                .resolve(&self.to_spec())
+                .expect("every Scheme variant resolves against the built-in registry"),
+        );
+        cache.lock().insert(self, Arc::clone(&resolved));
+        resolved
     }
 
     /// Assembles a [`CoreSetup`] for this scheme around a trace.
     #[must_use]
     pub fn build_setup(self, trace: Box<dyn TraceSource>, l1pf: L1Pf) -> CoreSetup {
-        if matches!(self, Scheme::AthenaRl) {
-            // One fresh agent behind both seams: that coordination is the
-            // point of the Athena design. (Persistent-agent studies build
-            // the same system through [`athena_rl_setup`] directly.)
-            return Self::athena_rl_setup(trace, l1pf, shared_agent(RlConfig::default_config()));
-        }
-        let mut setup = CoreSetup::new(trace).with_l1_prefetcher(l1pf.build());
-        match self {
-            Scheme::Baseline => {
-                setup = setup.with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())));
-            }
-            Scheme::Ppf => {
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::aggressive())))
-                    .with_l2_filter(Box::new(Ppf::new(PpfConfig::paper())));
-            }
-            Scheme::Hermes => {
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-                    .with_offchip(Box::new(Hermes::new(HermesConfig::paper())));
-            }
-            Scheme::HermesPpf => {
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::aggressive())))
-                    .with_l2_filter(Box::new(Ppf::new(PpfConfig::paper())))
-                    .with_offchip(Box::new(Hermes::new(HermesConfig::paper())));
-            }
-            Scheme::Tlp => {
-                return Scheme::Variant(TlpVariant::Full).build_setup_inner(setup);
-            }
-            Scheme::Variant(_) => {
-                return self.build_setup_inner(setup);
-            }
-            Scheme::HermesExtra => {
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-                    .with_offchip(Box::new(Hermes::new(HermesConfig::with_extra_storage())));
-            }
-            Scheme::Lp => {
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-                    .with_offchip(Box::new(Lp::new(LpConfig::hpca22())));
-            }
-            Scheme::TlpCustom(params) => {
-                let cfg = params.build_config();
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-                    .with_offchip(Box::new(Flp::new(cfg.flp)))
-                    .with_l1_filter(Box::new(Slp::new(cfg.slp)));
-            }
-            Scheme::HermesTlp => {
-                let cfg = TlpConfig::paper();
-                setup = setup
-                    .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-                    .with_offchip(Box::new(Flp::new(tlp_core::FlpConfig {
-                        delay: tlp_core::DelayMode::Never,
-                        ..cfg.flp
-                    })))
-                    .with_l1_filter(Box::new(Slp::new(cfg.slp)));
-            }
-            Scheme::AthenaRl => unreachable!("handled before the generic setup is built"),
-        }
-        setup
+        builtin_registry()
+            .build_setup(
+                &self.to_spec(),
+                Some(&l1pf.to_ref()),
+                trace,
+                &mut BuildCtx::new(),
+            )
+            .expect("built-in schemes always assemble")
     }
 
     /// Assembles the [`Scheme::AthenaRl`] system around an externally
-    /// owned agent. The learning-curve experiment (ext7) and the
-    /// `rl_agent` example persist one agent across epochs; this is the
-    /// single place the AthenaRl wiring lives, so the head-to-head and
-    /// the persistent-agent studies always measure the same system.
+    /// owned agent, by seeding the build context's
+    /// [`tlp_rl::AGENT_SLOT`] before the factories run. The
+    /// learning-curve experiment (ext7) and the `rl_agent` example
+    /// persist one agent across epochs; routing them through the same
+    /// spec as the head-to-head keeps both studies measuring the same
+    /// system.
     #[must_use]
     pub fn athena_rl_setup(
         trace: Box<dyn TraceSource>,
         l1pf: L1Pf,
         agent: SharedAgent,
     ) -> CoreSetup {
-        CoreSetup::new(trace)
-            .with_l1_prefetcher(l1pf.build())
-            .with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())))
-            .with_offchip(Box::new(RlOffChip::new(agent.clone())))
-            .with_l1_filter(Box::new(RlPrefetchFilter::new(agent)))
+        let mut ctx = BuildCtx::new();
+        ctx.seed(tlp_rl::AGENT_SLOT, agent);
+        builtin_registry()
+            .build_setup(
+                &Scheme::AthenaRl.to_spec(),
+                Some(&l1pf.to_ref()),
+                trace,
+                &mut ctx,
+            )
+            .expect("the AthenaRl scheme always assembles")
     }
+}
 
-    fn build_setup_inner(self, mut setup: CoreSetup) -> CoreSetup {
-        let Scheme::Variant(v) = self else {
-            unreachable!("only called for variants");
-        };
-        setup = setup.with_l2_prefetcher(Box::new(Spp::new(SppConfig::standard())));
-        let (flp, slp) = v.build(&TlpConfig::paper());
-        if let Some(flp) = flp {
-            setup = setup.with_offchip(Box::new(flp));
-        }
-        if let Some(slp) = slp {
-            setup = setup.with_l1_filter(Box::new(slp));
-        }
-        setup
+/// The Figure-15 ablation compositions, spelled as component parameters
+/// (mirrors the table in [`tlp_core::variants`]).
+fn variant_spec(spec: SchemeSpec, v: TlpVariant) -> SchemeSpec {
+    let flp = |delay: &str| ComponentRef::new("flp").param("delay", delay);
+    let slp = |leveling: bool| ComponentRef::new("slp").param("leveling", leveling);
+    let spec = spec.l2_prefetcher(spp_standard());
+    match v {
+        TlpVariant::FlpOnly => spec.offchip(flp("never")),
+        TlpVariant::SlpOnly => spec.l1_filter(slp(false)),
+        TlpVariant::Tsp => spec.offchip(flp("never")).l1_filter(slp(false)),
+        TlpVariant::DelayedTsp => spec.offchip(flp("always")).l1_filter(slp(false)),
+        TlpVariant::SelectiveTsp => spec.offchip(flp("selective")).l1_filter(slp(false)),
+        TlpVariant::Full => spec.offchip(flp("selective")).l1_filter(slp(true)),
     }
+}
+
+/// Every enum-spelled scheme, for listings and exhaustive tests (the
+/// `TlpCustom` family is parameterized and represented by the paper
+/// point).
+#[must_use]
+pub fn all_builtin_schemes() -> Vec<Scheme> {
+    let mut all = vec![
+        Scheme::Baseline,
+        Scheme::Ppf,
+        Scheme::Hermes,
+        Scheme::HermesPpf,
+        Scheme::Tlp,
+        Scheme::HermesExtra,
+        Scheme::Lp,
+        Scheme::TlpCustom(TlpParams::paper()),
+        Scheme::HermesTlp,
+        Scheme::AthenaRl,
+    ];
+    all.extend(TlpVariant::ALL.iter().map(|v| Scheme::Variant(*v)));
+    all
+}
+
+/// Registers the named built-in schemes (the `--scheme` lookup space).
+/// `TlpCustom` is parameterized and therefore not nameable; `Variant`s
+/// register under their Figure-15 legend names, except `Full`, whose
+/// name ("TLP") belongs to [`Scheme::Tlp`].
+///
+/// # Errors
+///
+/// Propagates registration collisions.
+pub fn register_builtin_schemes(
+    reg: &mut tlp_plugin::ComponentRegistry,
+) -> Result<(), tlp_plugin::PluginError> {
+    const ORIGIN: &str = "tlp-harness";
+    for s in [
+        Scheme::Baseline,
+        Scheme::Ppf,
+        Scheme::Hermes,
+        Scheme::HermesPpf,
+        Scheme::Tlp,
+        Scheme::HermesExtra,
+        Scheme::Lp,
+        Scheme::HermesTlp,
+        Scheme::AthenaRl,
+    ] {
+        reg.register_scheme(s.to_spec(), ORIGIN)?;
+    }
+    for v in TlpVariant::ALL {
+        if v != TlpVariant::Full {
+            reg.register_scheme(Scheme::Variant(v).to_spec(), ORIGIN)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -320,18 +367,7 @@ mod tests {
 
     #[test]
     fn every_scheme_builds() {
-        for s in [
-            Scheme::Baseline,
-            Scheme::Ppf,
-            Scheme::Hermes,
-            Scheme::HermesPpf,
-            Scheme::Tlp,
-            Scheme::HermesExtra,
-            Scheme::Lp,
-            Scheme::TlpCustom(TlpParams::paper()),
-            Scheme::HermesTlp,
-            Scheme::AthenaRl,
-        ] {
+        for s in all_builtin_schemes() {
             let _ = s.build_setup(trace(), L1Pf::Ipcp);
         }
         for v in TlpVariant::ALL {
@@ -340,45 +376,12 @@ mod tests {
     }
 
     #[test]
-    fn custom_params_materialize() {
-        let p = TlpParams {
-            tau_high: 20,
-            tau_low: 4,
-            tau_pref: 10,
-            resize: (1, 2),
-            drop_feature: None,
-        };
-        let cfg = p.build_config();
-        assert_eq!(cfg.flp.tau_high, 20);
-        assert_eq!(cfg.flp.tau_low, 4);
-        assert_eq!(cfg.slp.tau_pref, 10);
-        assert_eq!(cfg.flp.perceptron.table_sizes[0], 512);
-        assert_eq!(cfg.slp.perceptron.table_sizes[0], 512);
-    }
-
-    #[test]
-    fn paper_params_reproduce_paper_config() {
-        let cfg = TlpParams::paper().build_config();
-        let paper = TlpConfig::paper();
-        assert_eq!(cfg.flp.tau_high, paper.flp.tau_high);
-        assert_eq!(cfg.flp.tau_low, paper.flp.tau_low);
-        assert_eq!(cfg.slp.tau_pref, paper.slp.tau_pref);
-        assert_eq!(
-            cfg.flp.perceptron.table_sizes,
-            paper.flp.perceptron.table_sizes
-        );
-        assert_eq!(cfg.slp.leveling_table, paper.slp.leveling_table);
-    }
-
-    #[test]
-    fn drop_feature_params_shrink_tables() {
-        let p = TlpParams {
-            drop_feature: Some(0),
-            ..TlpParams::paper()
-        };
-        let cfg = p.build_config();
-        assert_eq!(cfg.flp.perceptron.enabled_count(), 4);
-        assert!(p.label().contains("-f0"));
+    fn specs_pin_the_legacy_cache_keys() {
+        for s in all_builtin_schemes() {
+            assert_eq!(s.to_spec().cache_key(), s.key(), "{s:?}");
+            assert_eq!(s.to_spec().name(), s.name(), "{s:?}");
+            assert_eq!(s.resolve().cache_key, s.key(), "{s:?}");
+        }
     }
 
     #[test]
@@ -393,36 +396,41 @@ mod tests {
     }
 
     #[test]
+    fn tlp_custom_key_matches_the_historical_debug_format() {
+        // The pre-registry key was `format!("tlp:{p:?}")` with derived
+        // Debug; the canonical key must reproduce it byte-for-byte so
+        // warm caches stay warm.
+        let p = TlpParams::paper();
+        assert_eq!(Scheme::TlpCustom(p).key(), format!("tlp:{p:?}"));
+        assert_eq!(
+            Scheme::TlpCustom(p).key(),
+            "tlp:TlpParams { tau_high: 14, tau_low: 2, tau_pref: 6, resize: (1, 1), drop_feature: None }"
+        );
+    }
+
+    #[test]
     fn keys_are_unique() {
-        let mut keys: Vec<String> = vec![
-            Scheme::Baseline,
-            Scheme::Ppf,
-            Scheme::Hermes,
-            Scheme::HermesPpf,
-            Scheme::Tlp,
-            Scheme::HermesExtra,
-            Scheme::AthenaRl,
-        ]
-        .into_iter()
-        .map(Scheme::key)
-        .collect();
-        keys.extend(TlpVariant::ALL.iter().map(|v| Scheme::Variant(*v).key()));
+        let keys: Vec<String> = all_builtin_schemes().into_iter().map(Scheme::key).collect();
         let set: std::collections::HashSet<&String> = keys.iter().collect();
         assert_eq!(set.len(), keys.len());
     }
 
     #[test]
-    fn l1pf_names_are_unique() {
-        let all = [
-            L1Pf::None,
-            L1Pf::Ipcp,
-            L1Pf::Berti,
-            L1Pf::IpcpExtra,
-            L1Pf::BertiExtra,
-            L1Pf::NextLine,
-            L1Pf::Stride,
-        ];
-        let set: std::collections::HashSet<&str> = all.iter().map(|p| p.name()).collect();
-        assert_eq!(set.len(), all.len());
+    fn l1pf_names_are_unique_and_registered() {
+        let set: std::collections::HashSet<&str> = L1Pf::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(set.len(), L1Pf::ALL.len());
+        for p in L1Pf::ALL {
+            assert_eq!(p.resolve().key, p.name());
+        }
+    }
+
+    #[test]
+    fn named_schemes_resolve_from_the_registry() {
+        let reg = builtin_registry();
+        for name in ["Baseline", "TLP", "Hermes+PPF", "AthenaRl", "Selective TSP"] {
+            let spec = reg.scheme(name).expect(name);
+            assert_eq!(spec.name(), name);
+        }
+        assert!(reg.scheme("TLP*").is_err(), "TlpCustom is not nameable");
     }
 }

@@ -1,0 +1,178 @@
+//! Error type and the shared did-you-mean machinery.
+
+use crate::registry::Seam;
+
+/// Everything that can go wrong registering, resolving or building
+/// components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PluginError {
+    /// A component name was registered twice on one seam.
+    DuplicateComponent {
+        /// The seam carrying the collision.
+        seam: Seam,
+        /// The colliding (namespaced) name.
+        name: String,
+    },
+    /// A lookup named a component the registry does not hold.
+    UnknownComponent {
+        /// The seam that was searched.
+        seam: Seam,
+        /// The unknown name.
+        name: String,
+        /// Closest registered names, best first (may be empty).
+        did_you_mean: Vec<String>,
+    },
+    /// A scheme name was registered twice.
+    DuplicateScheme {
+        /// The colliding scheme name.
+        name: String,
+    },
+    /// A lookup named a scheme the registry does not hold.
+    UnknownScheme {
+        /// The unknown name.
+        name: String,
+        /// Closest registered names, best first (may be empty).
+        did_you_mean: Vec<String>,
+    },
+    /// A name failed validation at registration time.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A spec's pinned cache key was rejected (pinned keys exist only to
+    /// preserve the built-in schemes' historical addresses).
+    PinnedKeyRejected {
+        /// The offending pinned key.
+        key: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A factory rejected one of its parameters.
+    InvalidParam {
+        /// The component whose factory complained.
+        component: String,
+        /// The offending parameter key.
+        param: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PluginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PluginError::DuplicateComponent { seam, name } => {
+                write!(f, "{seam} '{name}' is already registered")
+            }
+            PluginError::UnknownComponent {
+                seam,
+                name,
+                did_you_mean,
+            } => {
+                write!(f, "unknown {seam}: {name}")?;
+                if !did_you_mean.is_empty() {
+                    write!(f, " (did you mean: {}?)", did_you_mean.join(", "))?;
+                }
+                Ok(())
+            }
+            PluginError::DuplicateScheme { name } => {
+                write!(f, "scheme '{name}' is already registered")
+            }
+            PluginError::UnknownScheme { name, did_you_mean } => {
+                write!(f, "unknown scheme: {name}")?;
+                if !did_you_mean.is_empty() {
+                    write!(f, " (did you mean: {}?)", did_you_mean.join(", "))?;
+                }
+                Ok(())
+            }
+            PluginError::InvalidName { name, reason } => {
+                write!(f, "invalid component name '{name}': {reason}")
+            }
+            PluginError::PinnedKeyRejected { key, reason } => {
+                write!(f, "pinned cache key '{key}' rejected: {reason}")
+            }
+            PluginError::InvalidParam {
+                component,
+                param,
+                message,
+            } => {
+                write!(f, "{component}: parameter '{param}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PluginError {}
+
+/// Levenshtein edit distance (small inputs; O(len²) is fine). Shared by
+/// the registry's did-you-mean suggestions and the CLI's experiment-name
+/// validation.
+#[must_use]
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidates to `unknown`, best first: at most three names
+/// within edit distance 3 (the "did you mean" list).
+#[must_use]
+pub fn suggest<'a, I>(unknown: &str, candidates: I) -> Vec<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut scored: Vec<(usize, &str)> = candidates
+        .into_iter()
+        .map(|n| (edit_distance(unknown, n), n))
+        .collect();
+    scored.sort();
+    scored
+        .into_iter()
+        .take_while(|&(d, _)| d <= 3)
+        .take(3)
+        .map(|(_, n)| n.to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("ipcp", "ipc"), 1);
+        assert_eq!(edit_distance("berti", "bert"), 1);
+    }
+
+    #[test]
+    fn suggest_ranks_and_caps() {
+        let cands = ["ipcp", "berti", "stride", "next-line"];
+        let s = suggest("ipc", cands);
+        assert_eq!(s.first().map(String::as_str), Some("ipcp"));
+        assert!(suggest("zzzzzzzz", cands).is_empty());
+    }
+
+    #[test]
+    fn errors_render_suggestions() {
+        let e = PluginError::UnknownComponent {
+            seam: Seam::L1Prefetcher,
+            name: "ipc".into(),
+            did_you_mean: vec!["ipcp".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("unknown L1D prefetcher: ipc"), "{msg}");
+        assert!(msg.contains("did you mean: ipcp?"), "{msg}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Free-form, canonically ordered parameter maps for component factories.
+
+use std::collections::BTreeMap;
+
+use crate::error::PluginError;
+
+/// A string→string parameter map with a canonical rendering.
+///
+/// Parameters feed two places: the component **factory** (which parses
+/// them into its config) and the **cache key** (via
+/// [`Params::canonical`]), so two references with different parameters
+/// can never share a result-cache entry. Keys are kept sorted; insertion
+/// order never leaks into the canonical form.
+///
+/// Keys and values may not contain `{`, `}`, `,`, `=` or `|` — they are
+/// the canonical form's structural characters (`|` additionally
+/// separates cell-description fields in the harness), so smuggling one
+/// in could make two distinct parameter maps render the same cache key.
+/// [`Params::set`] enforces this with a panic: parameters are composed
+/// by code, not parsed from untrusted input, so a structural character
+/// is a composition bug.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Params {
+    map: BTreeMap<String, String>,
+}
+
+/// Characters with structural meaning in canonical cache keys.
+const STRUCTURAL: [char; 5] = ['{', '}', ',', '=', '|'];
+
+impl Params {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Inserts (or overwrites) one parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the key or value contains a cache-key structural
+    /// character (`{`, `}`, `,`, `=`, `|`) — two maps differing only by
+    /// a smuggled separator could otherwise canonicalize identically
+    /// and share a result-cache entry.
+    pub fn set(&mut self, key: impl Into<String>, value: impl ToString) {
+        let (key, value) = (key.into(), value.to_string());
+        for (what, s) in [("key", &key), ("value", &value)] {
+            assert!(
+                !s.contains(STRUCTURAL),
+                "parameter {what} '{s}' contains a cache-key structural character \
+                 (one of {STRUCTURAL:?})"
+            );
+        }
+        self.map.insert(key, value);
+    }
+
+    /// Looks one parameter up.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Parses one parameter into `T`, reporting a factory-grade error on
+    /// failure. Absent keys return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PluginError::InvalidParam`] when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        component: &str,
+        key: &str,
+    ) -> Result<Option<T>, PluginError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| PluginError::InvalidParam {
+                    component: component.to_owned(),
+                    param: key.to_owned(),
+                    message: format!("cannot parse '{raw}': {e}"),
+                }),
+        }
+    }
+
+    /// Rejects any key outside `allowed` — factories call this first so a
+    /// typo'd knob fails loudly instead of silently running the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PluginError::InvalidParam`] naming the first unknown key.
+    pub fn allow_keys(&self, component: &str, allowed: &[&str]) -> Result<(), PluginError> {
+        for key in self.map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(PluginError::InvalidParam {
+                    component: component.to_owned(),
+                    param: key.clone(),
+                    message: format!("unknown parameter (accepted: {})", allowed.join(", ")),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(key, value)` pairs in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The canonical rendering: `{k1=v1,k2=v2}` in sorted key order, or
+    /// the empty string for an empty map (so a parameterless reference
+    /// renders as its bare component name).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        if self.map.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self.map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+impl<K: Into<String>, V: ToString> FromIterator<(K, V)> for Params {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut p = Params::new();
+        for (k, v) in iter {
+            p.set(k, v);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_sorted_and_insertion_order_free() {
+        let a = Params::new().with("zeta", 1).with("alpha", 2);
+        let b = Params::new().with("alpha", 2).with("zeta", 1);
+        assert_eq!(a.canonical(), "{alpha=2,zeta=1}");
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(Params::new().canonical(), "");
+    }
+
+    #[test]
+    fn get_parsed_reports_component_and_param() {
+        let p = Params::new().with("scale", "four");
+        let err = p.get_parsed::<u32>("ipcp", "scale").unwrap_err();
+        assert!(matches!(
+            err,
+            PluginError::InvalidParam { ref component, ref param, .. }
+                if component == "ipcp" && param == "scale"
+        ));
+        assert_eq!(
+            Params::new()
+                .with("scale", 4)
+                .get_parsed::<u32>("ipcp", "scale")
+                .unwrap(),
+            Some(4)
+        );
+        assert_eq!(Params::new().get_parsed::<u32>("x", "y").unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "structural character")]
+    fn structural_characters_in_values_panic() {
+        let _ = Params::new().with("a", "1,b=2");
+    }
+
+    #[test]
+    fn allow_keys_rejects_typos() {
+        let p = Params::new().with("scal", 4);
+        let err = p.allow_keys("ipcp", &["scale"]).unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"), "{err}");
+        assert!(Params::new()
+            .with("scale", 4)
+            .allow_keys("ipcp", &["scale"])
+            .is_ok());
+    }
+}

@@ -1,0 +1,454 @@
+//! Declarative scheme specifications and their factory-bound resolutions.
+
+use tlp_sim::engine::CoreSetup;
+use tlp_trace::TraceSource;
+
+use crate::error::PluginError;
+use crate::params::Params;
+use crate::registry::{
+    BuildCtx, L1FilterFactory, L1PrefetcherFactory, L2FilterFactory, L2PrefetcherFactory,
+    OffChipFactory,
+};
+
+/// A reference to one registered component: a name plus its parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ComponentRef {
+    /// Registered (namespaced) component name, e.g. `ipcp` or
+    /// `custom:sandwich`.
+    pub name: String,
+    /// Factory parameters.
+    pub params: Params,
+}
+
+impl ComponentRef {
+    /// A parameterless reference.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            params: Params::new(),
+        }
+    }
+
+    /// Builder-style parameter insert.
+    #[must_use]
+    pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// The canonical cache-key fragment: the bare name, or
+    /// `name{k=v,...}` when parameterized.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!("{}{}", self.name, self.params.canonical())
+    }
+}
+
+impl From<&str> for ComponentRef {
+    fn from(name: &str) -> Self {
+        ComponentRef::new(name)
+    }
+}
+
+impl From<String> for ComponentRef {
+    fn from(name: String) -> Self {
+        ComponentRef::new(name)
+    }
+}
+
+impl From<(&str, Params)> for ComponentRef {
+    fn from((name, params): (&str, Params)) -> Self {
+        Self {
+            name: name.to_owned(),
+            params,
+        }
+    }
+}
+
+/// A declarative scheme: which component (if any) fills each of the five
+/// hook seams. Built by chaining, resolved against a
+/// [`crate::ComponentRegistry`]:
+///
+/// ```
+/// use tlp_plugin::SchemeSpec;
+///
+/// let spec = SchemeSpec::new("TLP").offchip("flp").l1_filter("slp");
+/// assert_eq!(spec.name(), "TLP");
+/// assert!(spec.cache_key().starts_with("spec:"));
+/// ```
+///
+/// An unfilled seam means "none" (the simulator's inert default). The L1D
+/// prefetcher seam is special: the harness's evaluation grid supplies it
+/// per cell (the paper sweeps scheme × prefetcher), so most specs leave
+/// it empty and only pin it to force a specific prefetcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeSpec {
+    name: String,
+    offchip: Option<ComponentRef>,
+    l1_prefetcher: Option<ComponentRef>,
+    l1_filter: Option<ComponentRef>,
+    l2_prefetcher: Option<ComponentRef>,
+    l2_filter: Option<ComponentRef>,
+    key: Option<String>,
+}
+
+impl SchemeSpec {
+    /// An empty spec with a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            offchip: None,
+            l1_prefetcher: None,
+            l1_filter: None,
+            l2_prefetcher: None,
+            l2_filter: None,
+            key: None,
+        }
+    }
+
+    /// Sets the off-chip predictor seam.
+    #[must_use]
+    pub fn offchip(mut self, r: impl Into<ComponentRef>) -> Self {
+        self.offchip = Some(r.into());
+        self
+    }
+
+    /// Pins the L1D prefetcher seam (overrides the grid's per-cell
+    /// prefetcher).
+    #[must_use]
+    pub fn l1_prefetcher(mut self, r: impl Into<ComponentRef>) -> Self {
+        self.l1_prefetcher = Some(r.into());
+        self
+    }
+
+    /// Sets the L1D prefetch-filter seam.
+    #[must_use]
+    pub fn l1_filter(mut self, r: impl Into<ComponentRef>) -> Self {
+        self.l1_filter = Some(r.into());
+        self
+    }
+
+    /// Sets the L2 prefetcher seam.
+    #[must_use]
+    pub fn l2_prefetcher(mut self, r: impl Into<ComponentRef>) -> Self {
+        self.l2_prefetcher = Some(r.into());
+        self
+    }
+
+    /// Sets the L2 prefetch-filter seam.
+    #[must_use]
+    pub fn l2_filter(mut self, r: impl Into<ComponentRef>) -> Self {
+        self.l2_filter = Some(r.into());
+        self
+    }
+
+    /// Pins an explicit cache key instead of the derived canonical one.
+    ///
+    /// This exists for exactly one purpose: the built-in schemes predate
+    /// the registry and their historical keys (`"TLP"`, `"Hermes+PPF"`,
+    /// `tlp:TlpParams { ... }`, ...) address years of golden fixtures and
+    /// on-disk cache entries, so their specs pin those strings
+    /// byte-for-byte. New specs should leave the key derived — derived
+    /// keys live in the `spec:` namespace, which no pinned built-in key
+    /// occupies.
+    ///
+    /// Registries reject pinned keys that could alias other cached
+    /// results: keys in the derived namespaces (`spec:`, `custom:`), on
+    /// specs referencing custom components, or equal to a registered
+    /// scheme's key with a different composition. Beyond those checks, a
+    /// pinned key is the caller asserting stewardship of that address —
+    /// pinning a string that collides with cells you did not produce
+    /// (e.g. a hand-forged `tlp:TlpParams { ... }`) corrupts the shared
+    /// cache.
+    #[must_use]
+    pub fn pinned_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pinned cache key, when one was set.
+    #[must_use]
+    pub fn pinned(&self) -> Option<&str> {
+        self.key.as_deref()
+    }
+
+    /// Whether two specs compose the same components (seam by seam,
+    /// parameters included). Display names and pinned keys are ignored —
+    /// the composition is what determines simulation behavior.
+    #[must_use]
+    pub fn same_composition(&self, other: &SchemeSpec) -> bool {
+        self.offchip == other.offchip
+            && self.l1_prefetcher == other.l1_prefetcher
+            && self.l1_filter == other.l1_filter
+            && self.l2_prefetcher == other.l2_prefetcher
+            && self.l2_filter == other.l2_filter
+    }
+
+    /// References of every filled seam, in build order.
+    #[must_use]
+    pub fn component_refs(&self) -> Vec<&ComponentRef> {
+        [
+            &self.offchip,
+            &self.l1_prefetcher,
+            &self.l1_filter,
+            &self.l2_prefetcher,
+            &self.l2_filter,
+        ]
+        .into_iter()
+        .filter_map(Option::as_ref)
+        .collect()
+    }
+
+    /// The component filling a seam, if any.
+    #[must_use]
+    pub fn offchip_ref(&self) -> Option<&ComponentRef> {
+        self.offchip.as_ref()
+    }
+
+    /// The pinned L1D prefetcher, if any.
+    #[must_use]
+    pub fn l1_prefetcher_ref(&self) -> Option<&ComponentRef> {
+        self.l1_prefetcher.as_ref()
+    }
+
+    /// The L1D prefetch filter, if any.
+    #[must_use]
+    pub fn l1_filter_ref(&self) -> Option<&ComponentRef> {
+        self.l1_filter.as_ref()
+    }
+
+    /// The L2 prefetcher, if any.
+    #[must_use]
+    pub fn l2_prefetcher_ref(&self) -> Option<&ComponentRef> {
+        self.l2_prefetcher.as_ref()
+    }
+
+    /// The L2 prefetch filter, if any.
+    #[must_use]
+    pub fn l2_filter_ref(&self) -> Option<&ComponentRef> {
+        self.l2_filter.as_ref()
+    }
+
+    /// One-line composition summary for listings, e.g.
+    /// `offchip=flp l1f=slp l2pf=spp{profile=standard}`.
+    #[must_use]
+    pub fn composition(&self) -> String {
+        let mut parts = Vec::new();
+        let mut push = |label: &str, r: &Option<ComponentRef>| {
+            if let Some(r) = r {
+                parts.push(format!("{label}={}", r.canonical()));
+            }
+        };
+        push("offchip", &self.offchip);
+        push("l1pf", &self.l1_prefetcher);
+        push("l1f", &self.l1_filter);
+        push("l2pf", &self.l2_prefetcher);
+        push("l2f", &self.l2_filter);
+        if parts.is_empty() {
+            "(all seams empty)".to_owned()
+        } else {
+            parts.join(" ")
+        }
+    }
+
+    /// The cache key feeding `RunKey` derivation: the pinned key when
+    /// present, else the canonical derived key over the five seams. The
+    /// display name is deliberately **not** part of the derived key — two
+    /// specs composing identical components are the same simulation and
+    /// share cache entries.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        if let Some(k) = &self.key {
+            return k.clone();
+        }
+        let part =
+            |r: &Option<ComponentRef>| r.as_ref().map_or("-".to_owned(), ComponentRef::canonical);
+        format!(
+            "spec:oc={};l1pf={};l1f={};l2pf={};l2f={}",
+            part(&self.offchip),
+            part(&self.l1_prefetcher),
+            part(&self.l1_filter),
+            part(&self.l2_prefetcher),
+            part(&self.l2_filter),
+        )
+    }
+}
+
+/// One resolved seam: the factory, its parameters, and the canonical
+/// cache-key fragment of the originating [`ComponentRef`].
+#[derive(Clone)]
+pub struct ResolvedComponent<F> {
+    /// Canonical fragment (`name` or `name{params}`).
+    pub key: String,
+    /// The registered factory.
+    pub factory: F,
+    /// Parameters passed to the factory at build time.
+    pub params: Params,
+}
+
+impl<F> std::fmt::Debug for ResolvedComponent<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedComponent")
+            .field("key", &self.key)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> ResolvedComponent<F> {
+    /// Builds the component through its factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the factory's [`PluginError`] (typically
+    /// [`PluginError::InvalidParam`]).
+    pub fn build<T>(&self, ctx: &mut BuildCtx) -> Result<T, PluginError>
+    where
+        F: std::ops::Deref,
+        F::Target: Fn(&Params, &mut BuildCtx) -> Result<T, PluginError>,
+    {
+        (*self.factory)(&self.params, ctx)
+    }
+}
+
+/// A [`SchemeSpec`] bound to its factories: everything needed to assemble
+/// a [`CoreSetup`] with no further registry access. Resolution happens
+/// once (with did-you-mean errors at spec-validation time); the resolved
+/// scheme is then cheap to clone into every grid cell and is `Send +
+/// Sync` (factories are `Arc` closures), so cells build their systems on
+/// worker threads.
+#[derive(Debug, Clone)]
+pub struct ResolvedScheme {
+    /// Display name (from the spec).
+    pub name: String,
+    /// Cache key (from [`SchemeSpec::cache_key`]).
+    pub cache_key: String,
+    pub(crate) offchip: Option<ResolvedComponent<OffChipFactory>>,
+    pub(crate) l1_prefetcher: Option<ResolvedComponent<L1PrefetcherFactory>>,
+    pub(crate) l1_filter: Option<ResolvedComponent<L1FilterFactory>>,
+    pub(crate) l2_prefetcher: Option<ResolvedComponent<L2PrefetcherFactory>>,
+    pub(crate) l2_filter: Option<ResolvedComponent<L2FilterFactory>>,
+}
+
+impl ResolvedScheme {
+    /// Dry-runs every factory (fresh throwaway [`BuildCtx`], components
+    /// discarded), so parameter errors — unknown keys, unparseable
+    /// values — surface as `Err` *before* any simulation is planned.
+    /// Resolution alone only validates names; the parameters are the
+    /// factories' to judge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first factory's [`PluginError`].
+    pub fn validate(&self) -> Result<(), PluginError> {
+        let mut ctx = BuildCtx::new();
+        if let Some(c) = &self.offchip {
+            c.build(&mut ctx).map(drop)?;
+        }
+        if let Some(c) = &self.l1_prefetcher {
+            c.build(&mut ctx).map(drop)?;
+        }
+        if let Some(c) = &self.l1_filter {
+            c.build(&mut ctx).map(drop)?;
+        }
+        if let Some(c) = &self.l2_prefetcher {
+            c.build(&mut ctx).map(drop)?;
+        }
+        if let Some(c) = &self.l2_filter {
+            c.build(&mut ctx).map(drop)?;
+        }
+        Ok(())
+    }
+
+    /// Assembles a [`CoreSetup`] around `trace`. `default_l1pf` fills the
+    /// L1D prefetcher seam when the spec does not pin one (the grid's
+    /// per-cell prefetcher); `None` with an unpinned seam leaves the
+    /// simulator's inert default.
+    ///
+    /// Factories run in a fixed, documented order — off-chip predictor,
+    /// L1D prefetcher, L1D filter, L2 prefetcher, L2 filter — and share
+    /// `ctx`, so coupled components (e.g. Athena-RL's two faces) can
+    /// exchange state deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first factory error.
+    pub fn build_setup(
+        &self,
+        trace: Box<dyn TraceSource>,
+        default_l1pf: Option<&ResolvedComponent<L1PrefetcherFactory>>,
+        ctx: &mut BuildCtx,
+    ) -> Result<CoreSetup, PluginError> {
+        let mut setup = CoreSetup::new(trace);
+        if let Some(c) = &self.offchip {
+            setup = setup.with_offchip(c.build(ctx)?);
+        }
+        if let Some(c) = self.l1_prefetcher.as_ref().or(default_l1pf) {
+            setup = setup.with_l1_prefetcher(c.build(ctx)?);
+        }
+        if let Some(c) = &self.l1_filter {
+            setup = setup.with_l1_filter(c.build(ctx)?);
+        }
+        if let Some(c) = &self.l2_prefetcher {
+            setup = setup.with_l2_prefetcher(c.build(ctx)?);
+        }
+        if let Some(c) = &self.l2_filter {
+            setup = setup.with_l2_filter(c.build(ctx)?);
+        }
+        Ok(setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_keys_cover_all_seams_and_ignore_the_name() {
+        let a = SchemeSpec::new("A")
+            .offchip("flp")
+            .l1_filter("slp")
+            .l2_prefetcher(ComponentRef::new("spp").param("profile", "standard"));
+        let b = SchemeSpec::new("B")
+            .offchip("flp")
+            .l1_filter("slp")
+            .l2_prefetcher(ComponentRef::new("spp").param("profile", "standard"));
+        assert_eq!(a.cache_key(), b.cache_key(), "name must not affect the key");
+        assert_eq!(
+            a.cache_key(),
+            "spec:oc=flp;l1pf=-;l1f=slp;l2pf=spp{profile=standard};l2f=-"
+        );
+        let c = SchemeSpec::new("A").offchip("flp").l1_filter("slp");
+        assert_ne!(a.cache_key(), c.cache_key(), "every seam is key material");
+    }
+
+    #[test]
+    fn pinned_key_wins() {
+        let s = SchemeSpec::new("TLP").offchip("flp").pinned_key("TLP");
+        assert_eq!(s.cache_key(), "TLP");
+    }
+
+    #[test]
+    fn component_ref_canonical_forms() {
+        assert_eq!(ComponentRef::new("ipcp").canonical(), "ipcp");
+        assert_eq!(
+            ComponentRef::new("ipcp").param("scale", 4).canonical(),
+            "ipcp{scale=4}"
+        );
+    }
+
+    #[test]
+    fn composition_summary_names_filled_seams() {
+        let s = SchemeSpec::new("X").offchip("hermes").l2_filter("ppf");
+        assert_eq!(s.composition(), "offchip=hermes l2f=ppf");
+        assert_eq!(SchemeSpec::new("Y").composition(), "(all seams empty)");
+    }
+}

@@ -202,7 +202,7 @@ mod tests {
             trigger_vaddr: 0x50_0000,
             pf_vaddr: 0x50_0040,
             pf_paddr: 0x50_0040,
-            trigger_tag: OffChipTag::from_offchip_bit(true),
+            trigger_tag: OffChipTag::from_decision(tlp_sim::hooks::OffChipDecision::IssueOnL1dMiss),
             cycle: 0,
         };
         let before = agent.lock().stats().pf_updates;

@@ -42,3 +42,53 @@ pub mod storage;
 pub use agent::{AgentStats, AthenaAgent, PressureSignals, RlConfig};
 pub use hooks::{shared_agent, RlOffChip, RlPrefetchFilter, SharedAgent};
 pub use qtable::{QTable, Q_VALUE_BITS, REWARD_ONE};
+
+/// The [`tlp_plugin::BuildCtx`] slot both Athena faces share their agent
+/// under. Pre-seeding this slot (see [`tlp_plugin::BuildCtx::seed`]) with
+/// an externally owned [`SharedAgent`] makes the factories wrap *that*
+/// agent instead of creating a fresh one — the persistent-agent
+/// learning-curve study (ext7) carries its agent across epochs this way.
+pub const AGENT_SLOT: &str = "athena-rl:agent";
+
+/// Registers this crate's components with a plugin registry (origin
+/// `tlp-rl`):
+///
+/// * off-chip predictor **`athena-rl`** and L1D prefetch filter
+///   **`athena-rl-filter`** — the two faces of one Athena-class
+///   Q-learning agent. Within one `CoreSetup` build the two factories
+///   share the agent through the [`AGENT_SLOT`] build-context slot, so
+///   composing both into a scheme yields *one* agent observing both
+///   seams (the point of the Athena design). Neither takes parameters.
+///
+/// # Errors
+///
+/// Propagates registration collisions from the registry.
+pub fn register_builtin(
+    reg: &mut tlp_plugin::ComponentRegistry,
+) -> Result<(), tlp_plugin::PluginError> {
+    use std::sync::Arc;
+
+    const ORIGIN: &str = "tlp-rl";
+
+    reg.register_offchip(
+        "athena-rl",
+        ORIGIN,
+        Arc::new(|params, ctx| {
+            params.allow_keys("athena-rl", &[])?;
+            let agent: SharedAgent =
+                ctx.shared(AGENT_SLOT, || shared_agent(RlConfig::default_config()));
+            Ok(Box::new(RlOffChip::new(agent)))
+        }),
+    )?;
+    reg.register_l1_filter(
+        "athena-rl-filter",
+        ORIGIN,
+        Arc::new(|params, ctx| {
+            params.allow_keys("athena-rl-filter", &[])?;
+            let agent: SharedAgent =
+                ctx.shared(AGENT_SLOT, || shared_agent(RlConfig::default_config()));
+            Ok(Box::new(RlPrefetchFilter::new(agent)))
+        }),
+    )?;
+    Ok(())
+}

@@ -917,14 +917,16 @@ impl System {
                     }
                 }
                 let cs = &mut self.cores[c];
-                let (tpc, tva, tbit) = w.pf_trigger.unwrap_or((w.pc, w.vaddr, false));
+                let (tpc, tva, tdec) =
+                    w.pf_trigger
+                        .unwrap_or((w.pc, w.vaddr, OffChipDecision::NoIssue));
                 let ctx = L1FilterCtx {
                     core: c,
                     trigger_pc: tpc,
                     trigger_vaddr: tva,
                     pf_vaddr: w.vaddr,
                     pf_paddr: w.paddr,
-                    trigger_tag: OffChipTag::from_offchip_bit(tbit),
+                    trigger_tag: OffChipTag::from_decision(tdec),
                     cycle: now,
                 };
                 cs.l1_filter.train(&ctx, &w.filter, served);
@@ -1211,11 +1213,7 @@ impl System {
         };
         req.vaddr = cand.vaddr;
         req.filter = ftag;
-        req.pf_trigger = Some((
-            trigger.pc,
-            trigger.vaddr,
-            trigger.offchip.predicted_offchip(),
-        ));
+        req.pf_trigger = Some((trigger.pc, trigger.vaddr, trigger.offchip.decision));
         if cs.l1d.push_prefetch(req, now) {
             if !frozen {
                 cs.l1_pf_stats.issued += 1;
@@ -1786,5 +1784,82 @@ mod tests {
         assert!("evnet".parse::<EngineMode>().is_err());
         assert_eq!(EngineMode::Event.to_string(), "event");
         assert_eq!(EngineMode::default(), EngineMode::Cycle);
+    }
+
+    /// The trigger's *two-bit* off-chip decision must survive the trip
+    /// through the stored prefetch metadata into the filter-training
+    /// context. The predecessor (`from_offchip_bit`) collapsed the
+    /// decision to one bit and always reconstructed `IssueOnL1dMiss`, so
+    /// an `IssueNow` trigger trained the filter with the wrong decision.
+    #[test]
+    fn filter_training_sees_the_triggers_original_decision() {
+        use std::sync::{Arc, Mutex};
+
+        /// Predicts `IssueNow` for every load.
+        struct AlwaysNow;
+        impl OffChipPredictor for AlwaysNow {
+            fn predict_load(&mut self, _ctx: &LoadCtx) -> OffChipTag {
+                OffChipTag {
+                    decision: OffChipDecision::IssueNow,
+                    confidence: 0,
+                    indices: tlp_perceptron::FeatureIndices::empty(),
+                    valid: true,
+                }
+            }
+            fn train_load(&mut self, _c: &LoadCtx, _t: &OffChipTag, _s: Level) {}
+            fn name(&self) -> &'static str {
+                "always-now"
+            }
+        }
+
+        /// Next-line on every miss, so prefetches actually issue.
+        struct MissNextLine;
+        impl L1Prefetcher for MissNextLine {
+            fn on_access(&mut self, a: &DemandAccess, out: &mut Vec<PrefetchCandidate>) {
+                if !a.hit {
+                    out.push(PrefetchCandidate {
+                        vaddr: (a.vaddr & !(LINE_SIZE - 1)) + LINE_SIZE,
+                        fill_l1: true,
+                    });
+                }
+            }
+            fn name(&self) -> &'static str {
+                "miss-next-line"
+            }
+        }
+
+        /// Pass-through filter recording every training decision.
+        struct Recorder(Arc<Mutex<Vec<OffChipDecision>>>);
+        impl L1PrefetchFilter for Recorder {
+            fn filter(&mut self, _ctx: &L1FilterCtx) -> (bool, crate::hooks::FilterTag) {
+                (true, crate::hooks::FilterTag::default())
+            }
+            fn train(&mut self, ctx: &L1FilterCtx, _t: &crate::hooks::FilterTag, _s: Level) {
+                self.0
+                    .lock()
+                    .expect("recorder")
+                    .push(ctx.trigger_tag.decision);
+            }
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+        }
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let setup = CoreSetup::new(Box::new(stream_trace(400, 64)))
+            .with_offchip(Box::new(AlwaysNow))
+            .with_l1_prefetcher(Box::new(MissNextLine))
+            .with_l1_filter(Box::new(Recorder(Arc::clone(&seen))));
+        let mut sys = System::new(SystemConfig::test_tiny(1), vec![setup]);
+        let _ = sys.run(0, 400);
+        let seen = seen.lock().expect("recorder");
+        assert!(
+            !seen.is_empty(),
+            "the stream must complete at least one prefetch"
+        );
+        assert!(
+            seen.iter().all(|&d| d == OffChipDecision::IssueNow),
+            "training contexts must carry the trigger's IssueNow decision, got {seen:?}"
+        );
     }
 }

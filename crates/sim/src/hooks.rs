@@ -70,16 +70,16 @@ impl OffChipTag {
         !matches!(self.decision, OffChipDecision::NoIssue)
     }
 
-    /// Reconstructs a minimal tag from the stored FLP output bit (used when
-    /// rebuilding filter-training contexts from request metadata).
+    /// Reconstructs a minimal tag from the stored FLP decision (used when
+    /// rebuilding filter-training contexts from request metadata). The
+    /// two-bit decision is carried through the stored metadata verbatim —
+    /// the predecessor of this constructor collapsed it to a single
+    /// off-chip bit and always reconstructed `IssueOnL1dMiss`, losing
+    /// whether the original prediction was `IssueNow`.
     #[must_use]
-    pub fn from_offchip_bit(bit: bool) -> Self {
+    pub fn from_decision(decision: OffChipDecision) -> Self {
         Self {
-            decision: if bit {
-                OffChipDecision::IssueOnL1dMiss
-            } else {
-                OffChipDecision::NoIssue
-            },
+            decision,
             confidence: 0,
             indices: FeatureIndices::empty(),
             valid: true,
@@ -332,6 +332,23 @@ mod tests {
         let t = OffChipTag::none();
         assert!(!t.predicted_offchip());
         assert!(!t.valid);
+    }
+
+    #[test]
+    fn from_decision_preserves_all_three_decisions() {
+        for d in [
+            OffChipDecision::IssueNow,
+            OffChipDecision::IssueOnL1dMiss,
+            OffChipDecision::NoIssue,
+        ] {
+            let t = OffChipTag::from_decision(d);
+            assert_eq!(t.decision, d, "decision must round-trip");
+            assert!(t.valid);
+            assert_eq!(
+                t.predicted_offchip(),
+                !matches!(d, OffChipDecision::NoIssue)
+            );
+        }
     }
 
     #[test]

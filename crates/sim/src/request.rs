@@ -1,6 +1,6 @@
 //! The memory request that travels through the hierarchy.
 
-use crate::hooks::{FilterTag, OffChipTag};
+use crate::hooks::{FilterTag, OffChipDecision, OffChipTag};
 use crate::types::{CoreId, Cycle, Level, LINE_SIZE};
 
 /// What kind of request this is.
@@ -89,8 +89,11 @@ pub struct Request {
     /// Prefetch-filter metadata (L1 prefetches).
     pub filter: FilterTag,
     /// L1 filter context snapshot needed for SLP training, packed small:
-    /// (trigger_pc, trigger_vaddr, trigger predicted-off-chip bit).
-    pub pf_trigger: Option<(u64, u64, bool)>,
+    /// (trigger_pc, trigger_vaddr, trigger FLP decision). The full two-bit
+    /// decision is stored — not just the off-chip bit — so training
+    /// contexts rebuilt from this metadata see exactly what the predictor
+    /// decided at dispatch.
+    pub pf_trigger: Option<(u64, u64, OffChipDecision)>,
     /// Cycle the request was created.
     pub born: Cycle,
     /// Level that served the data (set on completion).

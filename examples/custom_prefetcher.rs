@@ -1,23 +1,22 @@
-//! Extending the simulator: plug a custom L1D prefetcher into the hook
-//! traits and race it against IPCP under the TLP filter.
+//! Extending the simulator through the composition API: register a
+//! custom L1D prefetcher with the plugin registry, compose it into a
+//! scheme with a [`SchemeSpec`], and race it against IPCP through a
+//! [`Session`] — no harness code is edited anywhere.
 //!
 //! ```text
 //! cargo run --release --example custom_prefetcher
 //! ```
 
-use tlp::core::variants::TlpVariant;
-use tlp::core::TlpConfig;
-use tlp::prefetch::Spp;
-use tlp::sim::engine::{CoreSetup, System};
+use std::sync::Arc;
+
+use tlp::harness::{RunConfig, Session};
+use tlp::plugin::{ComponentRef, SchemeSpec};
 use tlp::sim::hooks::{DemandAccess, L1Prefetcher, PrefetchCandidate};
 use tlp::sim::types::LINE_SIZE;
-use tlp::sim::SystemConfig;
-use tlp::trace::catalog::{self, Scale};
-use tlp::trace::VecTrace;
 
 /// A toy "sandwich" prefetcher: on every miss, fetch both neighbors of the
-/// missing line. Implementing [`L1Prefetcher`] is all it takes to run on
-/// the full system.
+/// missing line. Implementing [`L1Prefetcher`] is all a component needs to
+/// run on the full system.
 #[derive(Debug, Default)]
 struct Sandwich;
 
@@ -44,34 +43,62 @@ impl L1Prefetcher for Sandwich {
     }
 }
 
-fn run(workload: &str, custom: bool) -> (f64, u64) {
-    let w = catalog::workload(workload, Scale::Quick).expect("known workload");
-    let trace = VecTrace::from_workload(w.as_ref(), 120_000);
-    let mut setup = CoreSetup::new(Box::new(trace))
-        .with_l2_prefetcher(Box::new(Spp::new(tlp::prefetch::SppConfig::standard())));
-    setup = if custom {
-        setup.with_l1_prefetcher(Box::new(Sandwich))
-    } else {
-        setup.with_l1_prefetcher(Box::new(tlp::prefetch::Ipcp::new()))
-    };
-    // Put the TLP filter on top in both cases.
-    let (flp, slp) = TlpVariant::Full.build(&TlpConfig::paper());
-    setup = setup
-        .with_offchip(Box::new(flp.expect("full TLP has FLP")))
-        .with_l1_filter(Box::new(slp.expect("full TLP has SLP")));
-    let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]);
-    let r = sys.run(20_000, 100_000);
-    (r.ipc(), r.dram_transactions())
-}
-
 fn main() {
+    // 1. A session: a private clone of the built-in registry plus the
+    //    shared result cache and worker pool.
+    let mut session = Session::new(RunConfig::quick());
+
+    // 2. Register the custom component. It lands in the collision-checked
+    //    `custom:` namespace, so it can never alias a built-in cache key.
+    let sandwich = session
+        .registry_mut()
+        .register_custom_l1_prefetcher(
+            "sandwich",
+            Arc::new(|params, _ctx| {
+                params.allow_keys("sandwich", &[])?;
+                Ok(Box::new(Sandwich))
+            }),
+        )
+        .expect("fresh name");
+
+    // 3. Compose schemes declaratively. Both pin the full TLP filter
+    //    stack (FLP off-chip predictor + SLP prefetch filter + standard
+    //    SPP at L2); they differ only in the L1D prefetcher seam.
+    let tlp_stack = |name: &str| {
+        SchemeSpec::new(name)
+            .offchip("flp")
+            .l1_filter("slp")
+            .l2_prefetcher(ComponentRef::new("spp").param("profile", "standard"))
+    };
+    let with_sandwich = tlp_stack("TLP+sandwich").l1_prefetcher(sandwich.as_str());
+    let with_ipcp = tlp_stack("TLP+ipcp").l1_prefetcher("ipcp");
+
+    // Registering the composition by name also makes it addressable the
+    // way `tlp_repro --scheme <name>` addresses schemes.
+    session
+        .registry_mut()
+        .register_custom_scheme(with_sandwich.clone())
+        .expect("fresh scheme name");
+
+    // 4. Run both through the session (planned, deduplicated, cached).
     println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "{:<14} {:>10} {:>14} {:>10} {:>14}",
         "workload", "ipcp IPC", "sandwich IPC", "ipcp DRAM", "sandwich DRAM"
     );
     for workload in ["spec.milc_06", "bfs.web", "pr.kron"] {
-        let (ipc_a, dram_a) = run(workload, false);
-        let (ipc_b, dram_b) = run(workload, true);
-        println!("{workload:<14} {ipc_a:>12.3} {ipc_b:>12.3} {dram_a:>12} {dram_b:>12}");
+        let a = session
+            .run_single(workload, &with_ipcp, "none")
+            .expect("ipcp run");
+        let b = session
+            .run_single(workload, &with_sandwich, "none")
+            .expect("sandwich run");
+        println!(
+            "{workload:<14} {:>10.3} {:>14.3} {:>10} {:>14}",
+            a.ipc(),
+            b.ipc(),
+            a.dram_transactions(),
+            b.dram_transactions()
+        );
     }
+    eprintln!("# run-engine: {}", session.engine_stats().summary_line());
 }

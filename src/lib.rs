@@ -8,6 +8,7 @@ pub use tlp_core as core;
 pub use tlp_events as events;
 pub use tlp_harness as harness;
 pub use tlp_perceptron as perceptron;
+pub use tlp_plugin as plugin;
 pub use tlp_prefetch as prefetch;
 pub use tlp_rl as rl;
 pub use tlp_sim as sim;
