@@ -10,7 +10,17 @@
 //!   matter how many figures request it;
 //! * **disk** — optional (`--cache-dir`), one JSON file per key in the
 //!   [`tlp_sim::serial`] format, so repeated invocations are
-//!   simulation-free.
+//!   simulation-free. Safe for concurrent writers across threads and
+//!   processes (uniquely named temp files + atomic rename, lock-free
+//!   readers), with an optional size cap enforced by an LRU sweep.
+//!
+//! On top of the tiers sits a **single-flight layer**
+//! ([`ResultCache::get_or_run`]): the first requester of a missing cell
+//! becomes its *leader* and simulates; every concurrent requester of the
+//! same [`RunKey`] — another batch, another thread, another `tlp-serve`
+//! client — blocks on the in-flight slot and receives the leader's
+//! published report. One simulation per unique cell, ever, no matter how
+//! the traffic overlaps.
 //!
 //! Cell results are deterministic functions of their description (the
 //! simulator is single-threaded per cell and all seeds are fixed), which
@@ -21,7 +31,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use parking_lot::RwLock;
 
@@ -104,10 +114,37 @@ pub fn custom_desc(env: &str, workload: &str, scheme_key: &str, l1pf: &str, tag:
     format!("1c|{env}|{workload}|{scheme_key}|{l1pf}|cfg:{tag}")
 }
 
-/// The on-disk tier: one `<key>.json` per cell under a cache directory.
+/// What [`DiskCache::load_classified`] found for a key.
+#[derive(Debug)]
+pub enum DiskLoad {
+    /// A well-formed entry.
+    Hit(SimReport),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but did not decode; it has been deleted so the
+    /// next store rewrites it instead of leaving the corruption in place.
+    Corrupt,
+}
+
+/// Per-writer sequence folded into every temp-file name. The pid alone is
+/// not collision-free: two threads of one process storing the same key
+/// would truncate and interleave writes into a single temp file and could
+/// rename a torn entry over the real one.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How many stores happen between automatic size-cap sweeps.
+const SWEEP_EVERY: u64 = 32;
+
+/// The on-disk tier: one `<key>.json` per cell under a cache directory,
+/// safe for concurrent writers across threads *and* processes (every
+/// entry is published by an atomic rename of a uniquely named temp file;
+/// readers never take a lock).
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    cap_bytes: Option<u64>,
+    stores: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl DiskCache {
@@ -120,7 +157,21 @@ impl DiskCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            cap_bytes: None,
+            stores: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// Caps the directory at `cap` bytes of entries: every
+    /// [`SWEEP_EVERY`]-th store runs an LRU [`sweep`](DiskCache::sweep)
+    /// that deletes oldest-modified entries until the total fits.
+    #[must_use]
+    pub fn with_cap_bytes(mut self, cap: u64) -> Self {
+        self.cap_bytes = Some(cap);
+        self
     }
 
     /// The directory backing this cache.
@@ -129,25 +180,64 @@ impl DiskCache {
         &self.dir
     }
 
+    /// The configured size cap, if any.
+    #[must_use]
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Entries deleted by size-cap sweeps so far.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
     fn path_for(&self, key: RunKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.hex()))
     }
 
-    /// Loads one report, or `None` when absent or undecodable (a corrupt
-    /// entry behaves like a miss and is overwritten on store).
+    /// Loads one report, distinguishing an absent entry from a corrupt
+    /// one. A corrupt entry (torn write from a crashed process, bit rot,
+    /// an incompatible format) is deleted on sight — before this, it sat
+    /// on disk masquerading as a valid entry until some store happened to
+    /// overwrite it — and the deletion is counted so operators can see
+    /// cache corruption in the engine stats.
     #[must_use]
-    pub fn load(&self, key: RunKey) -> Option<SimReport> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        serial::report_from_json(&text).ok()
+    pub fn load_classified(&self, key: RunKey) -> DiskLoad {
+        let path = self.path_for(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return DiskLoad::Miss;
+        };
+        match serial::report_from_json(&text) {
+            Ok(report) => DiskLoad::Hit(report),
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                DiskLoad::Corrupt
+            }
+        }
     }
 
-    /// Stores one report (atomically: temp file + rename, so concurrent
-    /// invocations sharing a directory never observe torn entries).
-    /// Best-effort — a full disk degrades to cache misses, not failures.
+    /// Loads one report, or `None` when absent or undecodable (a corrupt
+    /// entry is deleted and behaves like a miss).
+    #[must_use]
+    pub fn load(&self, key: RunKey) -> Option<SimReport> {
+        match self.load_classified(key) {
+            DiskLoad::Hit(report) => Some(report),
+            DiskLoad::Miss | DiskLoad::Corrupt => None,
+        }
+    }
+
+    /// Stores one report (atomically: uniquely named temp file + rename,
+    /// so concurrent writers — same process or not — never publish a torn
+    /// entry). Best-effort — a full disk degrades to cache misses, not
+    /// failures.
     pub fn store(&self, key: RunKey, report: &SimReport) {
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let write = || -> std::io::Result<()> {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(serial::report_to_json(report).as_bytes())?;
@@ -155,6 +245,45 @@ impl DiskCache {
         };
         if write().is_err() {
             let _ = std::fs::remove_file(&tmp);
+        }
+        if self.cap_bytes.is_some()
+            && self.stores.fetch_add(1, Ordering::Relaxed) % SWEEP_EVERY == SWEEP_EVERY - 1
+        {
+            self.sweep();
+        }
+    }
+
+    /// Size-cap enforcement: while the entries exceed the cap, delete the
+    /// least-recently-modified ones. Concurrent sweeps from several
+    /// processes are safe (a file deleted twice is deleted once); a
+    /// deleted entry costs a re-simulation, never a wrong result.
+    pub fn sweep(&self) {
+        let Some(cap) = self.cap_bytes else { return };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, meta.len(), e.path()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= cap {
+            return;
+        }
+        files.sort();
+        for (_, len, path) in files {
+            if total <= cap {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -168,6 +297,14 @@ pub struct EngineStats {
     pub mem_hits: u64,
     /// Lookups answered from the on-disk tier.
     pub disk_hits: u64,
+    /// Lookups that found their cell already in flight (here or on
+    /// another client's request) and blocked on that single-flight slot
+    /// instead of re-simulating.
+    pub coalesced: u64,
+    /// Corrupt on-disk entries found (and deleted) by lookups.
+    pub corrupt: u64,
+    /// On-disk entries deleted by size-cap sweeps.
+    pub evicted: u64,
     /// Cells actually simulated.
     pub simulated: u64,
     /// The subset of `simulated` that ran inline on a collection path
@@ -185,10 +322,11 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Lookups served from either cache tier.
+    /// Lookups that did not cost this requester a simulation: cache-tier
+    /// hits plus waits coalesced onto an in-flight simulation.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.mem_hits + self.disk_hits
+        self.mem_hits + self.disk_hits + self.coalesced
     }
 
     /// Percentage of lookups served from a cache tier (100 when nothing
@@ -206,11 +344,14 @@ impl EngineStats {
     #[must_use]
     pub fn summary_line(&self) -> String {
         format!(
-            "requested={} deduped={} mem_hits={} disk_hits={} inline={} simulated={} hit_rate={:.1}%",
+            "requested={} deduped={} mem_hits={} disk_hits={} coalesced={} corrupt={} evicted={} inline={} simulated={} hit_rate={:.1}%",
             self.requested,
             self.deduped,
             self.mem_hits,
             self.disk_hits,
+            self.coalesced,
+            self.corrupt,
+            self.evicted,
             self.inline_simulated,
             self.simulated,
             self.hit_rate_percent()
@@ -218,13 +359,106 @@ impl EngineStats {
     }
 }
 
-/// The two-tier content-addressed cache.
+/// One in-flight cell: the slot every later requester of the same key
+/// blocks on instead of re-simulating. Plain `std` primitives — the
+/// `parking_lot` shim has no condvar.
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+enum FlightState {
+    /// The leader is simulating (or loading from disk).
+    Running,
+    /// The leader published; every waiter gets this shared report.
+    Done(Arc<SimReport>),
+    /// The leader panicked without publishing; waiters re-contend for
+    /// leadership (and re-hit the same panic if it is deterministic).
+    Aborted,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Running),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, state: FlightState) {
+        *self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the leader publishes or aborts.
+    fn wait(&self) -> Option<Arc<SimReport>> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightState::Running => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                FlightState::Done(report) => return Some(Arc::clone(report)),
+                FlightState::Aborted => return None,
+            }
+        }
+    }
+}
+
+/// Unwinds a leader that never published: removes the in-flight slot and
+/// wakes waiters so one of them can take over. Disarmed on publish.
+struct FlightGuard<'a> {
+    cache: &'a ResultCache,
+    key: RunKey,
+    slot: &'a Arc<FlightSlot>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&self.key);
+            self.slot.finish(FlightState::Aborted);
+        }
+    }
+}
+
+/// What a single-flight claim resolved to.
+enum Claim {
+    /// This requester simulates; everyone else waits on the slot.
+    Lead(Arc<FlightSlot>),
+    /// Another requester holds the key; wait on its slot.
+    Follow(Arc<FlightSlot>),
+    /// The cell was published while taking the claim lock.
+    Hit(Arc<SimReport>),
+}
+
+/// The two-tier content-addressed cache with a cross-requester
+/// single-flight layer: concurrent requests for one [`RunKey`] — from
+/// several batches, threads, or service clients — cost exactly one
+/// simulation.
 pub struct ResultCache {
     mem: RwLock<HashMap<RunKey, Arc<SimReport>>>,
     disk: Option<DiskCache>,
+    inflight: Mutex<HashMap<RunKey, Arc<FlightSlot>>>,
     requested: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
+    coalesced: AtomicU64,
+    corrupt: AtomicU64,
     simulated: AtomicU64,
     inline_simulated: AtomicU64,
     deduped: AtomicU64,
@@ -253,9 +487,12 @@ impl ResultCache {
         Self {
             mem: RwLock::new(HashMap::new()),
             disk: None,
+            inflight: Mutex::new(HashMap::new()),
             requested: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
             inline_simulated: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
@@ -280,14 +517,28 @@ impl ResultCache {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(r));
         }
-        if let Some(report) = self.disk.as_ref().and_then(|d| d.load(key)) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            let arc = Arc::new(report);
-            return Some(Arc::clone(
-                self.mem.write().entry(key).or_insert_with(|| arc),
-            ));
+        match self.load_disk(key) {
+            Some(report) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let arc = Arc::new(report);
+                Some(Arc::clone(
+                    self.mem.write().entry(key).or_insert_with(|| arc),
+                ))
+            }
+            None => None,
         }
-        None
+    }
+
+    /// Disk-tier load with corruption accounting.
+    fn load_disk(&self, key: RunKey) -> Option<SimReport> {
+        match self.disk.as_ref()?.load_classified(key) {
+            DiskLoad::Hit(report) => Some(report),
+            DiskLoad::Miss => None,
+            DiskLoad::Corrupt => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Records a freshly simulated cell into both tiers. If another thread
@@ -300,6 +551,107 @@ impl ResultCache {
         }
         let arc = Arc::new(report);
         Arc::clone(self.mem.write().entry(key).or_insert_with(|| arc))
+    }
+
+    /// Single-flight resolution of one cell: answer from a cache tier,
+    /// *lead* (run `simulate` and publish for everyone), or *follow*
+    /// (block until the in-flight leader — possibly serving a different
+    /// batch, thread, or service client — publishes). Exactly one
+    /// requester per key ever simulates, per cache lifetime; this closes
+    /// the lookup-then-simulate window that previously let two
+    /// overlapping batches both miss and both simulate the same cell.
+    ///
+    /// Counts one request, plus `mem_hits`/`disk_hits`/`coalesced`/
+    /// `simulated` for how the cell was resolved. If a leader panics, a
+    /// waiter takes over leadership (and a deterministic panic
+    /// propagates to every requester in turn).
+    pub fn get_or_run<F>(&self, key: RunKey, simulate: F) -> Arc<SimReport>
+    where
+        F: FnOnce() -> SimReport,
+    {
+        self.requested.fetch_add(1, Ordering::Relaxed);
+        let mut simulate = Some(simulate);
+        loop {
+            if let Some(r) = self.mem.read().get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(r);
+            }
+            match self.claim(key) {
+                Claim::Hit(r) => {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return r;
+                }
+                Claim::Follow(slot) => match slot.wait() {
+                    Some(r) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return r;
+                    }
+                    // The leader died; go claim leadership ourselves.
+                    None => continue,
+                },
+                Claim::Lead(slot) => {
+                    let mut guard = FlightGuard {
+                        cache: self,
+                        key,
+                        slot: &slot,
+                        armed: true,
+                    };
+                    // Only the leader probes the disk tier, so a shared
+                    // directory sees one read per key per process.
+                    if let Some(report) = self.load_disk(key) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return self.publish(&mut guard, Arc::new(report));
+                    }
+                    let report = (simulate.take().expect("leader runs once"))();
+                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    if let Some(d) = &self.disk {
+                        d.store(key, &report);
+                    }
+                    return self.publish(&mut guard, Arc::new(report));
+                }
+            }
+        }
+    }
+
+    /// Takes the single-flight claim for `key`. The memory tier is
+    /// re-checked under the in-flight lock: a leader publishes to memory
+    /// *before* releasing its slot, so a key absent from both maps here
+    /// is provably not in flight.
+    fn claim(&self, key: RunKey) -> Claim {
+        let mut inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(r) = self.mem.read().get(&key) {
+            return Claim::Hit(Arc::clone(r));
+        }
+        match inflight.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Claim::Follow(Arc::clone(e.get())),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = Arc::new(FlightSlot::new());
+                v.insert(Arc::clone(&slot));
+                Claim::Lead(slot)
+            }
+        }
+    }
+
+    /// Leader-side publish: memory tier first (first writer wins), then
+    /// release the in-flight slot and wake every waiter with the shared
+    /// report.
+    fn publish(&self, guard: &mut FlightGuard<'_>, report: Arc<SimReport>) -> Arc<SimReport> {
+        let arc = Arc::clone(
+            self.mem
+                .write()
+                .entry(guard.key)
+                .or_insert_with(|| Arc::clone(&report)),
+        );
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&guard.key);
+        guard.armed = false;
+        guard.slot.finish(FlightState::Done(Arc::clone(&arc)));
+        arc
     }
 
     /// Records `n` in-batch duplicate submissions.
@@ -321,6 +673,9 @@ impl ResultCache {
             requested: self.requested.load(Ordering::Relaxed),
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            evicted: self.disk.as_ref().map_or(0, DiskCache::evicted),
             simulated: self.simulated.load(Ordering::Relaxed),
             inline_simulated: self.inline_simulated.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
@@ -410,16 +765,120 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entries_behave_like_misses() {
+    fn corrupt_disk_entries_are_deleted_and_counted() {
         let dir = tmp_dir("corrupt");
         let disk = DiskCache::open(&dir).expect("open");
         let key = RunKey::from_desc("cell");
-        std::fs::write(disk.dir().join(format!("{}.json", key.hex())), "not json")
-            .expect("write garbage");
-        assert!(disk.load(key).is_none());
+        let entry = disk.dir().join(format!("{}.json", key.hex()));
+        std::fs::write(&entry, "not json").expect("write garbage");
         let cache = ResultCache::with_disk(disk);
         assert!(cache.lookup(key).is_none());
+        assert!(!entry.exists(), "corrupt entry must be deleted on sight");
+        assert_eq!(cache.stats().corrupt, 1);
+        // The next lookup is a clean miss, not another corruption.
+        assert!(cache.lookup(key).is_none());
+        assert_eq!(cache.stats().corrupt, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_never_tear() {
+        // The pid-only temp name let two threads interleave writes into
+        // one temp file; the per-writer sequence makes every temp path
+        // unique, so each rename publishes a complete entry.
+        let dir = tmp_dir("tmp-race");
+        let disk = std::sync::Arc::new(DiskCache::open(&dir).expect("open"));
+        let key = RunKey::from_desc("hot");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let disk = std::sync::Arc::clone(&disk);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        disk.store(key, &report(t * 1000 + i));
+                        if let DiskLoad::Corrupt = disk.load_classified(key) {
+                            panic!("observed a torn entry");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(disk.load(key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_sweep_evicts_oldest_entries() {
+        let dir = tmp_dir("evict");
+        let disk = DiskCache::open(&dir).expect("open").with_cap_bytes(1);
+        let old = RunKey::from_desc("old");
+        let new = RunKey::from_desc("new");
+        disk.store(old, &report(1));
+        // Make mtimes strictly ordered even on coarse filesystems.
+        let past = std::time::SystemTime::now() - std::time::Duration::from_secs(600);
+        let set_old = std::fs::File::open(dir.join(format!("{}.json", old.hex())))
+            .and_then(|f| f.set_modified(past));
+        disk.store(new, &report(2));
+        disk.sweep();
+        if set_old.is_ok() {
+            assert!(disk.load(old).is_none(), "oldest entry must be evicted");
+        }
+        assert!(disk.evicted() > 0, "sweep must count evictions");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_requesters() {
+        let cache = std::sync::Arc::new(ResultCache::in_memory());
+        let key = RunKey::from_desc("slow-cell");
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let r = cache.get_or_run(key, || {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        report(99)
+                    });
+                    assert_eq!(r.total_cycles, 99);
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.simulated, 1, "one leader simulates");
+        assert_eq!(st.requested, 4);
+        assert_eq!(
+            st.coalesced + st.mem_hits,
+            3,
+            "everyone else coalesces onto the flight (or lands after publish): {st:?}"
+        );
+    }
+
+    #[test]
+    fn single_flight_survives_a_panicking_leader() {
+        let cache = std::sync::Arc::new(ResultCache::in_memory());
+        let key = RunKey::from_desc("doomed-then-fine");
+        let started = std::sync::Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|scope| {
+            let c = std::sync::Arc::clone(&cache);
+            let b = std::sync::Arc::clone(&started);
+            let leader = scope.spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    c.get_or_run(key, || {
+                        b.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("leader dies mid-simulation");
+                    })
+                }));
+            });
+            // Start waiting only once the leader holds the flight.
+            started.wait();
+            let r = cache.get_or_run(key, || report(7));
+            assert_eq!(r.total_cycles, 7, "follower takes over after the abort");
+            leader.join().expect("leader thread joins");
+        });
+        assert_eq!(cache.stats().simulated, 1, "only the takeover publishes");
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use cache::{EngineStats, RunKey};
 pub use plugins::builtin_registry;
 pub use runner::{Harness, RunCell, RunConfig};
 pub use scheme::{L1Pf, Scheme, TlpParams};
-pub use session::{Session, SessionError};
+pub use session::{scheme_result, Session, SessionError};
 pub use tlp_sim::EngineMode;

@@ -216,6 +216,14 @@ impl Harness {
         Ok(self)
     }
 
+    /// Adds a pre-configured on-disk tier (e.g. one with a size cap from
+    /// [`DiskCache::with_cap_bytes`]).
+    #[must_use]
+    pub fn with_disk_cache(mut self, disk: DiskCache) -> Self {
+        self.cache = ResultCache::with_disk(disk);
+        self
+    }
+
     /// Snapshot of the run-engine counters (requests, hits per tier,
     /// simulations, batch dedup).
     #[must_use]
@@ -494,12 +502,10 @@ impl Harness {
     /// single-threaded on the caller, so it is flagged in the engine
     /// stats (`inline=` in the summary line).
     fn run_cell_arc(&self, cell: &RunCell) -> Arc<SimReport> {
-        if let Some(r) = self.cache.lookup(cell.key) {
-            return r;
-        }
-        let report = self.simulate(&cell.kind);
-        self.cache.note_inline_simulated();
-        self.cache.insert_simulated(cell.key, report)
+        self.cache.get_or_run(cell.key, || {
+            self.cache.note_inline_simulated();
+            self.simulate(&cell.kind)
+        })
     }
 
     /// A content-addressed key for one step of a *stateful* simulation
@@ -559,11 +565,31 @@ impl Harness {
     }
 
     /// Submits a batch of cells to the engine: duplicates are coalesced,
-    /// cached cells are skipped, and the remainder is simulated on a
+    /// cached cells answer instantly, and the remainder is simulated on a
     /// self-scheduling pool of `rc.threads` workers, each claiming the
-    /// next unclaimed cell of the deduplicated grid. Every unique cell is
-    /// simulated at most once per cache lifetime.
+    /// next unclaimed cell of the deduplicated grid. Resolution goes
+    /// through the cache's single-flight layer, so a cell this batch
+    /// misses on but another concurrent batch (or service client) is
+    /// already simulating is *waited for*, not re-simulated: every unique
+    /// cell is simulated exactly once per cache lifetime, even across
+    /// overlapping batches.
     pub fn run_cells(&self, cells: Vec<RunCell>) {
+        self.run_cells_streaming(cells, |_, _, _| {});
+    }
+
+    /// [`Harness::run_cells`] with a completion callback: `on_ready(i,
+    /// cell, report)` fires from the worker that resolved cell `i` (its
+    /// index in the deduplicated batch, batch order preserved) the moment
+    /// its report is available — cache hits immediately, misses as each
+    /// simulation (or coalesced wait on another requester's flight)
+    /// finishes. This is what lets `tlp-serve` stream per-cell result
+    /// frames back to clients instead of collecting sequentially at
+    /// end-of-grid. The callback runs concurrently on pool workers, so it
+    /// must be `Sync` and should stay cheap.
+    pub fn run_cells_streaming<F>(&self, cells: Vec<RunCell>, on_ready: F)
+    where
+        F: Fn(usize, &RunCell, &Arc<SimReport>) + Sync,
+    {
         let mut seen = HashSet::new();
         let mut todo = Vec::new();
         for cell in cells {
@@ -571,16 +597,17 @@ impl Harness {
                 self.cache.note_deduped(1);
                 continue;
             }
-            if self.cache.lookup(cell.key).is_none() {
-                todo.push(cell);
-            }
+            todo.push(cell);
         }
+        let todo: Vec<(usize, RunCell)> = todo.into_iter().enumerate().collect();
         self.parallel_map_labeled(
             todo,
-            |cell, _| cell.label.clone(),
-            |cell| {
-                let report = self.simulate(&cell.kind);
-                self.cache.insert_simulated(cell.key, report);
+            |(_, cell), _| cell.label.clone(),
+            |(i, cell)| {
+                let report = self
+                    .cache
+                    .get_or_run(cell.key, || self.simulate(&cell.kind));
+                on_ready(*i, cell, &report);
             },
         );
     }

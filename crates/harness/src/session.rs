@@ -105,6 +105,15 @@ impl Session {
         Ok(self)
     }
 
+    /// Adds a pre-configured on-disk tier (e.g. a size-capped
+    /// [`tlp_harness::cache::DiskCache`](crate::cache::DiskCache) — the
+    /// `tlp-serve` daemon uses this for its shared store).
+    #[must_use]
+    pub fn with_disk_cache(mut self, disk: crate::cache::DiskCache) -> Self {
+        self.harness = self.harness.with_disk_cache(disk);
+        self
+    }
+
     /// The session's registry (for lookups and listings).
     #[must_use]
     pub fn registry(&self) -> &ComponentRegistry {
@@ -256,29 +265,7 @@ impl Session {
         l1pf: &str,
     ) -> Result<ExperimentResult, SessionError> {
         let rows = self.run_sweep(spec, l1pf)?;
-        let mut result = ExperimentResult::new(
-            format!("scheme-{}", slug(spec.name())),
-            format!("Scheme sweep: {} (L1D prefetcher: {l1pf})", spec.name()),
-            "IPC / DRAM transactions / L1D prefetches issued",
-        );
-        let mut ipcs = Vec::new();
-        for (workload, report) in rows {
-            let issued: u64 = report.cores.iter().map(|c| c.l1_prefetch.issued).sum();
-            ipcs.push(report.ipc());
-            result.rows.push(Row::new(
-                workload,
-                vec![
-                    ("IPC".to_owned(), report.ipc()),
-                    ("DRAM".to_owned(), report.dram_transactions() as f64),
-                    ("L1 PF issued".to_owned(), issued as f64),
-                ],
-            ));
-        }
-        result.summary.push(Row::new(
-            "mean",
-            vec![("IPC".to_owned(), crate::runner::mean(&ipcs))],
-        ));
-        Ok(result)
+        Ok(scheme_result(spec.name(), l1pf, &rows))
     }
 
     /// Run-engine counter snapshot.
@@ -286,6 +273,42 @@ impl Session {
     pub fn engine_stats(&self) -> crate::cache::EngineStats {
         self.harness.engine_stats()
     }
+}
+
+/// Renders sweep rows as the `--scheme` [`ExperimentResult`] table (one
+/// row per workload: IPC, DRAM transactions, L1D prefetches issued, plus
+/// a mean-IPC summary row). A free function so the `tlp-serve` client can
+/// render the exact same bytes from streamed reports that the in-process
+/// [`Session::scheme_table`] path produces.
+#[must_use]
+pub fn scheme_result(
+    scheme_name: &str,
+    l1pf: &str,
+    rows: &[(String, SimReport)],
+) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("scheme-{}", slug(scheme_name)),
+        format!("Scheme sweep: {scheme_name} (L1D prefetcher: {l1pf})"),
+        "IPC / DRAM transactions / L1D prefetches issued",
+    );
+    let mut ipcs = Vec::new();
+    for (workload, report) in rows {
+        let issued: u64 = report.cores.iter().map(|c| c.l1_prefetch.issued).sum();
+        ipcs.push(report.ipc());
+        result.rows.push(Row::new(
+            workload.clone(),
+            vec![
+                ("IPC".to_owned(), report.ipc()),
+                ("DRAM".to_owned(), report.dram_transactions() as f64),
+                ("L1 PF issued".to_owned(), issued as f64),
+            ],
+        ));
+    }
+    result.summary.push(Row::new(
+        "mean",
+        vec![("IPC".to_owned(), crate::runner::mean(&ipcs))],
+    ));
+    result
 }
 
 /// Lowercase, dash-separated form of a scheme name for result ids.

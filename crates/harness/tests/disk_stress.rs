@@ -1,0 +1,143 @@
+//! Disk-tier stress: writer threads in this process *and* writer child
+//! processes all hammer one cache directory — the shared-store shape the
+//! `tlp-serve` daemon relies on. The invariant under test is the
+//! atomic-publish contract: a reader may see an older version of an
+//! entry or a miss, but never a torn (undecodable) one.
+//!
+//! The multi-process half re-invokes this test binary (libtest `--exact`
+//! filter) with `TLP_DISK_STRESS_CHILD` set; the child branch runs the
+//! same writer loop as the in-process threads and exits.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tlp_harness::cache::{DiskCache, DiskLoad};
+use tlp_harness::RunKey;
+use tlp_sim::SimReport;
+
+const CHILD_DIR_ENV: &str = "TLP_DISK_STRESS_CHILD";
+const CHILD_ID_ENV: &str = "TLP_DISK_STRESS_ID";
+const ITERS: u64 = 150;
+const PARENT_THREADS: u64 = 3;
+const CHILD_PROCESSES: u64 = 2;
+
+fn shared_key() -> RunKey {
+    RunKey::from_desc("disk-stress|shared")
+}
+
+fn writer_key(id: u64) -> RunKey {
+    RunKey::from_desc(&format!("disk-stress|writer{id}"))
+}
+
+/// A report whose content identifies the writer and iteration, so any
+/// successfully decoded version is self-consistent by construction.
+fn report(id: u64, iter: u64) -> SimReport {
+    SimReport {
+        total_cycles: id * 1_000_000 + iter,
+        ..SimReport::default()
+    }
+}
+
+/// One writer's workload: interleave stores to the contended shared key
+/// and to a private key with reads of the shared key, asserting no read
+/// ever classifies as torn.
+fn hammer(dir: &PathBuf, id: u64) {
+    let disk = DiskCache::open(dir).expect("open cache dir");
+    for i in 0..ITERS {
+        disk.store(shared_key(), &report(id, i));
+        disk.store(writer_key(id), &report(id, i));
+        match disk.load_classified(shared_key()) {
+            DiskLoad::Hit(r) => {
+                // Whatever version this is, it must be one some writer
+                // actually published, never a splice of two.
+                assert!(
+                    r.total_cycles % 1_000_000 < ITERS,
+                    "shared entry holds a published iteration (got {})",
+                    r.total_cycles
+                );
+            }
+            DiskLoad::Miss => {} // raced a concurrent rename; legal
+            DiskLoad::Corrupt => panic!("writer {id} observed a torn entry"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_across_threads_and_processes_never_tear() {
+    // Child branch: this is one of the spawned writer processes.
+    if let Ok(dir) = std::env::var(CHILD_DIR_ENV) {
+        let id: u64 = std::env::var(CHILD_ID_ENV)
+            .expect("child id set")
+            .parse()
+            .expect("child id numeric");
+        hammer(&PathBuf::from(dir), id);
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("tlp-disk-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create stress dir");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut children: Vec<std::process::Child> = (0..CHILD_PROCESSES)
+        .map(|c| {
+            std::process::Command::new(&exe)
+                .arg("--exact")
+                .arg("concurrent_writers_across_threads_and_processes_never_tear")
+                .env(CHILD_DIR_ENV, &dir)
+                .env(CHILD_ID_ENV, (100 + c).to_string())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn child writer process")
+        })
+        .collect();
+
+    let failures = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..PARENT_THREADS {
+            let dir = &dir;
+            let failures = &failures;
+            s.spawn(move || {
+                let outcome = std::panic::catch_unwind(|| hammer(dir, t));
+                if outcome.is_err() {
+                    failures.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        0,
+        "a writer thread saw torn data"
+    );
+
+    for child in &mut children {
+        let status = child.wait().expect("child exits");
+        assert!(status.success(), "a writer process saw torn data: {status}");
+    }
+
+    // Post-mortem: every key every writer used must now hold a complete,
+    // decodable entry (the last rename wins; none may be torn or
+    // half-renamed).
+    let disk = DiskCache::open(&dir).expect("reopen cache dir");
+    let mut keys = vec![shared_key()];
+    keys.extend((0..PARENT_THREADS).map(writer_key));
+    keys.extend((0..CHILD_PROCESSES).map(|c| writer_key(100 + c)));
+    for key in keys {
+        match disk.load_classified(key) {
+            DiskLoad::Hit(_) => {}
+            other => panic!("{}: expected a decodable entry, got {other:?}", key.hex()),
+        }
+    }
+    // No temp files may survive: every publish either renamed or cleaned
+    // up after itself.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read stress dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| !n.ends_with(".json"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

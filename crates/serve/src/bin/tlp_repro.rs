@@ -6,6 +6,7 @@
 //!           [--cache-dir DIR] [fig1 fig2 ... | all]
 //!           [--scheme NAME [--l1pf NAME]]
 //!           [--list-schemes] [--list-prefetchers] [--list-components]
+//!           [--serve HOST:PORT | --connect HOST:PORT]
 //! ```
 //!
 //! Simulations run through the harness's content-addressed run engine:
@@ -22,6 +23,12 @@
 //! (drop-one-feature), `ext5` (storage-budget sweep), `ext6` (victim
 //! cache vs TLP), `ext7` (online-RL coordination head-to-head +
 //! learning curve).
+//!
+//! `--serve HOST:PORT` turns the process into a simulation daemon (the
+//! same service as the `tlp_serve` binary, sharing this invocation's
+//! scale/engine/cache flags); `--connect HOST:PORT` runs `--scheme`
+//! sweeps against a remote daemon instead of simulating locally — the
+//! rendered tables are byte-identical either way.
 
 use tlp_harness::experiments::{
     ext01_offchip, ext02_replacement, ext03_thresholds, ext04_features, ext05_storage,
@@ -31,6 +38,7 @@ use tlp_harness::experiments::{
 use tlp_harness::report::ExperimentResult;
 use tlp_harness::{Harness, L1Pf, RunConfig, Session};
 use tlp_plugin::Seam;
+use tlp_serve::{Client, ServeError, Server, SweepRequest};
 
 const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -63,6 +71,8 @@ fn main() {
     let mut schemes: Vec<String> = Vec::new();
     let mut l1pf_name: String = "ipcp".to_owned();
     let mut l1pf_given = false;
+    let mut serve_addr: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,6 +80,20 @@ fn main() {
                 Some(name) => schemes.push(name.clone()),
                 None => {
                     eprintln!("--scheme requires a scheme name (--list-schemes shows all)");
+                    std::process::exit(2);
+                }
+            },
+            "--serve" => match it.next() {
+                Some(v) => serve_addr = Some(v.clone()),
+                None => {
+                    eprintln!("--serve requires HOST:PORT (port 0 picks an ephemeral port)");
+                    std::process::exit(2);
+                }
+            },
+            "--connect" => match it.next() {
+                Some(v) => connect_addr = Some(v.clone()),
+                None => {
+                    eprintln!("--connect requires HOST:PORT of a running daemon");
                     std::process::exit(2);
                 }
             },
@@ -174,7 +198,9 @@ fn main() {
                      --scheme NAME sweeps one registered scheme over the active workloads (repeatable)\n\
                      --l1pf NAME picks the L1D prefetcher for --scheme sweeps (default: ipcp)\n\
                      --list-schemes / --list-prefetchers / --list-components print the composition registry\n\
-                     (--list-components covers all five seams: off-chip predictors, prefetchers, filters)",
+                     (--list-components covers all five seams: off-chip predictors, prefetchers, filters)\n\
+                     --serve HOST:PORT runs as a simulation daemon (concurrent clients share the cache)\n\
+                     --connect HOST:PORT runs --scheme sweeps on a remote daemon instead of locally",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -187,6 +213,24 @@ fn main() {
     }
     if let Some(mode) = engine {
         rc.engine = mode;
+    }
+    if serve_addr.is_some() && connect_addr.is_some() {
+        eprintln!("--serve and --connect are mutually exclusive");
+        std::process::exit(2);
+    }
+    if serve_addr.is_some() && (!requested.is_empty() || !schemes.is_empty()) {
+        eprintln!("--serve runs as a daemon; drop experiment and --scheme operands");
+        std::process::exit(2);
+    }
+    if connect_addr.is_some() {
+        if schemes.is_empty() {
+            eprintln!("--connect requires at least one --scheme NAME (sweeps run on the daemon)");
+            std::process::exit(2);
+        }
+        if !requested.is_empty() {
+            eprintln!("--connect runs --scheme sweeps only; experiment ids run locally");
+            std::process::exit(2);
+        }
     }
     let unknown: Vec<&String> = requested
         .iter()
@@ -206,7 +250,12 @@ fn main() {
         }
         std::process::exit(2);
     }
-    if requested.iter().any(|r| r == "all") || (requested.is_empty() && schemes.is_empty()) {
+    if requested.iter().any(|r| r == "all")
+        || (requested.is_empty()
+            && schemes.is_empty()
+            && serve_addr.is_none()
+            && connect_addr.is_none())
+    {
         requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
         requested.push("table45".into());
     }
@@ -229,37 +278,58 @@ fn main() {
     }
     // Validate scheme/prefetcher names before simulating anything: an
     // unknown name exits 2 with a did-you-mean list, exactly like an
-    // unknown experiment id.
+    // unknown experiment id. In --connect mode the daemon's registry is
+    // authoritative (it may hold schemes this binary doesn't), so
+    // validation happens server-side and comes back as an ERROR frame.
     let mut bad_names = false;
-    for name in &schemes {
-        if let Err(e) = session.resolve_scheme_name(name) {
-            eprintln!("{e} (--list-schemes shows all)");
-            bad_names = true;
+    if connect_addr.is_none() {
+        for name in &schemes {
+            if let Err(e) = session.resolve_scheme_name(name) {
+                eprintln!("{e} (--list-schemes shows all)");
+                bad_names = true;
+            }
+        }
+        if l1pf_given || !schemes.is_empty() {
+            if let Err(e) = session.resolve_l1pf_name(&l1pf_name) {
+                eprintln!("{e} (--list-prefetchers shows all)");
+                bad_names = true;
+            }
         }
     }
-    if l1pf_given || !schemes.is_empty() {
-        if let Err(e) = session.resolve_l1pf_name(&l1pf_name) {
-            eprintln!("{e} (--list-prefetchers shows all)");
-            bad_names = true;
-        }
-        if l1pf_given && schemes.is_empty() {
-            eprintln!("--l1pf only applies to --scheme sweeps; add --scheme NAME");
-            bad_names = true;
-        }
+    if (l1pf_given && schemes.is_empty()) && serve_addr.is_none() {
+        eprintln!("--l1pf only applies to --scheme sweeps; add --scheme NAME");
+        bad_names = true;
     }
     if bad_names {
         std::process::exit(2);
     }
-    let h = session.harness();
-    eprintln!(
-        "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads, {} engine",
-        rc.scale,
-        rc.warmup,
-        rc.instructions,
-        h.active_workloads().len(),
-        rc.threads,
-        rc.engine,
-    );
+    // Daemon mode: hand the whole session (registry + cache + pool) to
+    // the service and serve forever. Same behavior as the `tlp_serve`
+    // binary, sharing this invocation's scale/engine/cache flags.
+    if let Some(addr) = &serve_addr {
+        let server = match Server::bind(addr.as_str(), session) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match server.local_addr() {
+            Ok(bound) => println!(
+                "# tlp-serve: listening on {bound} ({:?} scale, {} engine)",
+                rc.scale, rc.engine
+            ),
+            Err(e) => {
+                eprintln!("cannot read bound address: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = server.run() {
+            eprintln!("tlp-serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let emit_results = |tag: &str, results: Vec<ExperimentResult>, t0: std::time::Instant| {
         for r in results {
             println!("{}", r.render());
@@ -288,6 +358,61 @@ fn main() {
         }
         eprintln!("# {tag} took {:.1}s", t0.elapsed().as_secs_f64());
     };
+    // Remote mode: every sweep runs on the daemon; this process only
+    // renders. `scheme_result` is the same renderer the local path uses,
+    // so the tables are byte-identical to an in-process run.
+    if let Some(addr) = &connect_addr {
+        let mut client = match Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut last_summary = None;
+        for name in &schemes {
+            let t0 = std::time::Instant::now();
+            let req = SweepRequest {
+                scheme: name.clone(),
+                l1pf: l1pf_name.clone(),
+                workloads: vec![],
+            };
+            let reply = match client.sweep(&req) {
+                Ok(r) => r,
+                Err(ServeError::Server(msg)) => {
+                    eprintln!("--scheme {name}: {msg}");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("--scheme {name}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let table = tlp_harness::scheme_result(name, &l1pf_name, &reply.rows());
+            emit_results(&format!("scheme {name}"), vec![table], t0);
+            last_summary = Some(reply.summary);
+        }
+        // The daemon's counters (service-wide: they include every
+        // client's requests), in the exact format of the local line.
+        if let Some(s) = last_summary {
+            println!(
+                "# run-engine: engine={} {}",
+                s.engine,
+                s.stats.summary_line()
+            );
+        }
+        return;
+    }
+    let h = session.harness();
+    eprintln!(
+        "# scale {:?}, warmup {}, instructions {}, {} single-core workloads, {} threads, {} engine",
+        rc.scale,
+        rc.warmup,
+        rc.instructions,
+        h.active_workloads().len(),
+        rc.threads,
+        rc.engine,
+    );
     for exp in &requested {
         let t0 = std::time::Instant::now();
         let results = run_experiment(h, exp, rc);

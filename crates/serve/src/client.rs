@@ -1,0 +1,124 @@
+//! The client half: connect, submit sweeps, collect streamed cells.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tlp_sim::serial::SerialError;
+use tlp_sim::SimReport;
+
+use crate::protocol::{
+    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, SummaryFrame, SweepRequest,
+};
+
+/// Errors surfaced by client-side requests.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport failed (connect, read, write).
+    Io(std::io::Error),
+    /// The peer sent bytes that don't decode as the protocol.
+    Protocol(String),
+    /// The server rejected the request (its ERROR frame's message —
+    /// unknown scheme, unknown workload, version mismatch, ...).
+    Server(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServeError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<SerialError> for ServeError {
+    fn from(e: SerialError) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+/// A complete response to one sweep request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReply {
+    /// The streamed cells, re-sorted into request (workload) order —
+    /// the wire order is completion order.
+    pub cells: Vec<CellFrame>,
+    /// The terminating summary.
+    pub summary: SummaryFrame,
+}
+
+impl SweepReply {
+    /// The reply as `(workload, report)` rows in request order — the
+    /// shape [`tlp_harness::scheme_result`] renders.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(String, SimReport)> {
+        self.cells
+            .iter()
+            .map(|c| (c.workload.clone(), c.report.clone()))
+            .collect()
+    }
+}
+
+/// A connection to a running `tlp-serve` daemon. One connection carries
+/// any number of sequential sweeps.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Submits one sweep and blocks until the response completes,
+    /// collecting cells as the server streams them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] when the daemon rejects the request,
+    /// [`ServeError::Protocol`]/[`ServeError::Io`] on a broken peer or
+    /// transport.
+    pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepReply, ServeError> {
+        write_frame(&mut self.stream, FrameKind::Request, &req.encode())?;
+        let mut cells: Vec<CellFrame> = Vec::new();
+        loop {
+            match read_frame(&mut self.stream)? {
+                None => {
+                    return Err(ServeError::Protocol(
+                        "connection closed mid-response".to_owned(),
+                    ))
+                }
+                Some((FrameKind::Cell, payload)) => cells.push(CellFrame::decode(&payload)?),
+                Some((FrameKind::Summary, payload)) => {
+                    let summary = SummaryFrame::decode(&payload)?;
+                    cells.sort_by_key(|c| c.index);
+                    return Ok(SweepReply { cells, summary });
+                }
+                Some((FrameKind::Error, payload)) => {
+                    return Err(ServeError::Server(ErrorFrame::decode(&payload)?.message))
+                }
+                Some((FrameKind::Request, _)) => {
+                    return Err(ServeError::Protocol(
+                        "unexpected REQUEST frame from server".to_owned(),
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The daemon: a TCP accept loop over one shared [`Session`].
+//!
+//! Every connection gets its own handler thread, but all handlers share
+//! the *same* session — the same two-tier result cache, the same
+//! single-flight map, the same worker pool configuration. That sharing
+//! is the whole point: when two clients submit overlapping (or
+//! identical) grids, the cache's in-flight coalescing guarantees each
+//! unique cell is simulated exactly once service-wide; the late client's
+//! cells resolve as `coalesced` (waited on the other client's leader) or
+//! `mem_hits` (the leader already published).
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tlp_harness::{Session, SessionError};
+use tlp_trace::emit::Workload;
+
+use crate::protocol::{
+    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, SummaryFrame, SweepRequest,
+};
+
+/// A bound, not-yet-serving simulation service.
+pub struct Server {
+    listener: TcpListener,
+    session: Arc<Session>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the service to `addr` (use port 0 for an ephemeral port;
+    /// [`Server::local_addr`] reports the one the OS picked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (port in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs, session: Session) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            session: Arc::new(session),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the calling thread (the `tlp_serve` /
+    /// `tlp_repro --serve` daemon path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-name lookup errors; per-connection errors are
+    /// logged to stderr and do not stop the service.
+    pub fn run(self) -> std::io::Result<()> {
+        self.serve(&AtomicBool::new(false))
+    }
+
+    /// Serves from a background thread; the returned handle stops the
+    /// service on demand (the in-process test path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup error.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let _ = self.serve(&thread_stop);
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn serve(self, stop: &AtomicBool) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let session = Arc::clone(&self.session);
+                    std::thread::spawn(move || {
+                        if let Err(e) = handle_connection(&stream, &session) {
+                            let peer = stream
+                                .peer_addr()
+                                .map_or_else(|_| "?".to_owned(), |a| a.to_string());
+                            eprintln!("tlp-serve: connection {peer}: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("tlp-serve: accept: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed service.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the service is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Connections already being handled run to completion on their own
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads requests off one connection until the peer hangs up. A request
+/// the session rejects (unknown scheme, unknown workload, malformed
+/// payload) answers with an ERROR frame and keeps the connection open;
+/// only transport-level failures tear it down.
+fn handle_connection(stream: &TcpStream, session: &Session) -> std::io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let writer = Mutex::new(stream.try_clone()?);
+    while let Some((kind, payload)) = read_frame(&mut reader)? {
+        if kind != FrameKind::Request {
+            send_error(&writer, &format!("unexpected {kind:?} frame from client"))?;
+            continue;
+        }
+        let req = match SweepRequest::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                send_error(&writer, &format!("malformed request: {e}"))?;
+                continue;
+            }
+        };
+        match answer_sweep(session, &req, &writer) {
+            Ok(()) => {}
+            Err(AnswerError::Reject(msg)) => send_error(&writer, &msg)?,
+            Err(AnswerError::Io(e)) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+enum AnswerError {
+    /// The request is invalid; tell the client and keep the connection.
+    Reject(String),
+    /// The transport failed; drop the connection.
+    Io(std::io::Error),
+}
+
+impl From<SessionError> for AnswerError {
+    fn from(e: SessionError) -> Self {
+        AnswerError::Reject(e.to_string())
+    }
+}
+
+fn answer_sweep(
+    session: &Session,
+    req: &SweepRequest,
+    writer: &Mutex<TcpStream>,
+) -> Result<(), AnswerError> {
+    let scheme = session.resolve_scheme_name(&req.scheme)?;
+    let pf = session.resolve_l1pf_name(&req.l1pf)?;
+    let harness = session.harness();
+    // The request's workload set: named workloads (order-preserving
+    // dedup, so cell index == position) or the server's active catalog.
+    let workloads: Vec<Arc<dyn Workload>> = if req.workloads.is_empty() {
+        harness.active_workloads()
+    } else {
+        let mut seen = std::collections::HashSet::new();
+        let mut ws = Vec::new();
+        for name in &req.workloads {
+            if seen.insert(name.as_str()) {
+                ws.push(session.workload(name)?);
+            }
+        }
+        ws
+    };
+    let cells: Vec<_> = workloads
+        .iter()
+        .map(|w| harness.cell_single_spec(w, Arc::clone(&scheme), Arc::clone(&pf), None))
+        .collect();
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
+    // Stream each cell the moment its report exists — a cache hit
+    // answers immediately, a coalesced cell as soon as the other
+    // client's leader publishes. A send failure can't abort the batch
+    // (other connections may be coalesced on these flights), so it is
+    // recorded and surfaced after the run.
+    let send_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    harness.run_cells_streaming(cells, |i, cell, report| {
+        let frame = CellFrame {
+            index: i as u64,
+            workload: names[i].clone(),
+            label: cell.label().to_owned(),
+            report: (**report).clone(),
+        };
+        let mut w = writer.lock();
+        if let Err(e) = write_frame(&mut *w, FrameKind::Cell, &frame.encode()) {
+            let mut slot = send_failure.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    });
+    if let Some(e) = send_failure.into_inner() {
+        return Err(AnswerError::Io(e));
+    }
+    let summary = SummaryFrame {
+        engine: harness.rc.engine.to_string(),
+        cells: names.len() as u64,
+        stats: session.engine_stats(),
+    };
+    let mut w = writer.lock();
+    write_frame(&mut *w, FrameKind::Summary, &summary.encode()).map_err(AnswerError::Io)
+}
+
+fn send_error(writer: &Mutex<TcpStream>, message: &str) -> std::io::Result<()> {
+    let frame = ErrorFrame {
+        message: message.to_owned(),
+    };
+    let mut w = writer.lock();
+    write_frame(&mut *w, FrameKind::Error, &frame.encode())?;
+    w.flush()
+}

@@ -8,6 +8,12 @@
 //! arrays. Every counter in a report is a `u64` and round-trips exactly;
 //! there are no floats in the format, so the codec is lossless by
 //! construction (pinned by `report_roundtrip` property tests).
+//!
+//! The generic [`Value`] layer ([`parse_value`], [`escape`],
+//! [`report_from_value`]) is public: `tlp-serve` builds its
+//! length-prefixed protocol payloads (requests, per-cell result frames,
+//! summaries) on this same codec instead of inventing a second wire
+//! format.
 
 use std::fmt;
 
@@ -36,6 +42,15 @@ impl std::error::Error for SerialError {}
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
+
+/// Escapes `s` as a JSON string literal (including the surrounding
+/// quotes) — the building block for hand-assembled payloads.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    esc(s, &mut out);
+    out
+}
 
 fn esc(s: &str, out: &mut String) {
     out.push('"');
@@ -212,12 +227,36 @@ pub fn report_to_json(r: &SimReport) -> String {
 // Decoding
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value (only the shapes the cache format uses).
-enum Value {
+/// A parsed JSON value (only the shapes the cache and service formats
+/// use: unsigned integers, strings, arrays, objects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An unsigned integer.
     Num(u64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object, fields in source order.
     Obj(Vec<(String, Value)>),
+}
+
+/// Parses one JSON value, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] on malformed input or trailing data.
+pub fn parse_value(text: &str) -> Result<Value, SerialError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after value");
+    }
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -383,14 +422,25 @@ fn missing(field: &str) -> SerialError {
 }
 
 impl Value {
-    fn obj(&self) -> Result<&[(String, Value)], SerialError> {
+    /// The fields of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when `self` is not an object.
+    pub fn obj(&self) -> Result<&[(String, Value)], SerialError> {
         match self {
             Value::Obj(f) => Ok(f),
             _ => Err(missing("<object>")),
         }
     }
 
-    fn field<'a>(&'a self, name: &str) -> Result<&'a Value, SerialError> {
+    /// Looks up `name` in an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when `self` is not an object or lacks the
+    /// field.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, SerialError> {
         self.obj()?
             .iter()
             .find(|(k, _)| k == name)
@@ -398,17 +448,77 @@ impl Value {
             .ok_or_else(|| missing(name))
     }
 
-    fn u64_field(&self, name: &str) -> Result<u64, SerialError> {
+    /// An integer field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when the field is absent or not a number.
+    pub fn u64_field(&self, name: &str) -> Result<u64, SerialError> {
         match self.field(name)? {
             Value::Num(n) => Ok(*n),
             _ => Err(missing(name)),
         }
     }
 
-    fn str_field(&self, name: &str) -> Result<String, SerialError> {
+    /// A string field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when the field is absent or not a string.
+    pub fn str_field(&self, name: &str) -> Result<String, SerialError> {
         match self.field(name)? {
             Value::Str(s) => Ok(s.clone()),
             _ => Err(missing(name)),
+        }
+    }
+
+    /// An array field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when the field is absent or not an array.
+    pub fn arr_field<'a>(&'a self, name: &str) -> Result<&'a [Value], SerialError> {
+        match self.field(name)? {
+            Value::Arr(items) => Ok(items),
+            _ => Err(missing(name)),
+        }
+    }
+
+    /// Renders the value back to JSON text (round-trips through
+    /// [`parse_value`]).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Num(n) => out.push_str(&n.to_string()),
+            Value::Str(s) => esc(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    esc(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
         }
     }
 
@@ -524,15 +634,16 @@ fn core_report_from(v: &Value) -> Result<CoreReport, SerialError> {
 /// a required field (e.g. a cache file written by an incompatible
 /// version).
 pub fn report_from_json(text: &str) -> Result<SimReport, SerialError> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let root = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return p.err("trailing data after report");
-    }
+    report_from_value(&parse_value(text)?)
+}
+
+/// Decodes a report from an already-parsed [`Value`] (e.g. one embedded
+/// in a `tlp-serve` result frame).
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the value lacks a required field.
+pub fn report_from_value(root: &Value) -> Result<SimReport, SerialError> {
     let Value::Arr(core_values) = root.field("cores")? else {
         return Err(missing("cores"));
     };

@@ -11,5 +11,6 @@ pub use tlp_perceptron as perceptron;
 pub use tlp_plugin as plugin;
 pub use tlp_prefetch as prefetch;
 pub use tlp_rl as rl;
+pub use tlp_serve as serve;
 pub use tlp_sim as sim;
 pub use tlp_trace as trace;
