@@ -32,9 +32,11 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
+use tlp_obs::{Counter, Histogram, MetricsRegistry};
 use tlp_sim::{serial, SimReport};
 
 /// Salt folded into every [`RunKey`]. Bump this whenever a change to the
@@ -144,7 +146,9 @@ pub struct DiskCache {
     dir: PathBuf,
     cap_bytes: Option<u64>,
     stores: AtomicU64,
-    evicted: AtomicU64,
+    /// Starts detached; adopted into the owning [`ResultCache`]'s
+    /// metrics registry as `run_cache_evicted_total`.
+    evicted: Counter,
 }
 
 impl DiskCache {
@@ -161,7 +165,7 @@ impl DiskCache {
             dir,
             cap_bytes: None,
             stores: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
+            evicted: Counter::detached(),
         })
     }
 
@@ -189,7 +193,7 @@ impl DiskCache {
     /// Entries deleted by size-cap sweeps so far.
     #[must_use]
     pub fn evicted(&self) -> u64 {
-        self.evicted.load(Ordering::Relaxed)
+        self.evicted.get()
     }
 
     fn path_for(&self, key: RunKey) -> PathBuf {
@@ -282,7 +286,7 @@ impl DiskCache {
             }
             if std::fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
-                self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.evicted.inc();
             }
         }
     }
@@ -446,22 +450,84 @@ enum Claim {
     Hit(Arc<SimReport>),
 }
 
+/// How a [`ResultCache::get_or_run`] request was resolved — recorded per
+/// cell into the timing log that `--profile` dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Answered from the in-memory tier.
+    MemHit,
+    /// Answered from the on-disk tier.
+    DiskHit,
+    /// Blocked on another requester's in-flight simulation.
+    Coalesced,
+    /// This requester led and simulated the cell.
+    Simulated,
+}
+
+impl CellOutcome {
+    /// The stable name used in rendered artifacts.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellOutcome::MemHit => "mem_hit",
+            CellOutcome::DiskHit => "disk_hit",
+            CellOutcome::Coalesced => "coalesced",
+            CellOutcome::Simulated => "simulated",
+        }
+    }
+}
+
+/// One cell's wall-clock record in the profile timing log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellTiming {
+    /// The submitter's label (workload/scheme), or the key's hex when
+    /// the request came in unlabeled.
+    pub label: String,
+    /// How the request was resolved.
+    pub outcome: CellOutcome,
+    /// Nanoseconds the cell waited between batch submission and a worker
+    /// picking it up (0 for unqueued requests).
+    pub queue_wait_ns: u64,
+    /// Nanoseconds from lookup start to resolution (includes simulate
+    /// time for leaders and blocking time for coalesced followers).
+    pub total_ns: u64,
+}
+
+/// Profile timing-log cap: a long-lived daemon must not grow the log
+/// without bound, so entries past this are dropped (and counted).
+const MAX_CELL_LOG: usize = 16_384;
+
 /// The two-tier content-addressed cache with a cross-requester
 /// single-flight layer: concurrent requests for one [`RunKey`] — from
 /// several batches, threads, or service clients — cost exactly one
 /// simulation.
+///
+/// Every counter the engine reports lives in a per-cache
+/// [`MetricsRegistry`] (`run_cache_*` names): [`ResultCache::stats`] and
+/// the `# run-engine:` summary line are rendered *from* those metrics,
+/// and phase histograms (lookup / simulate / store / queue wait /
+/// coalesce wait, all nanoseconds) sit alongside them for `--profile`
+/// and the serve daemon's `STATS` frame.
 pub struct ResultCache {
     mem: RwLock<HashMap<RunKey, Arc<SimReport>>>,
     disk: Option<DiskCache>,
     inflight: Mutex<HashMap<RunKey, Arc<FlightSlot>>>,
-    requested: AtomicU64,
-    mem_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    coalesced: AtomicU64,
-    corrupt: AtomicU64,
-    simulated: AtomicU64,
-    inline_simulated: AtomicU64,
-    deduped: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    requested: Counter,
+    mem_hits: Counter,
+    disk_hits: Counter,
+    coalesced: Counter,
+    corrupt: Counter,
+    simulated: Counter,
+    inline_simulated: Counter,
+    deduped: Counter,
+    lookup_ns: Histogram,
+    simulate_ns: Histogram,
+    store_ns: Histogram,
+    queue_wait_ns: Histogram,
+    coalesce_wait_ns: Histogram,
+    cell_log: Mutex<Vec<CellTiming>>,
+    cell_log_dropped: Counter,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -484,27 +550,74 @@ impl ResultCache {
     /// A memory-only cache (the default for library users and tests).
     #[must_use]
     pub fn in_memory() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
         Self {
             mem: RwLock::new(HashMap::new()),
             disk: None,
             inflight: Mutex::new(HashMap::new()),
-            requested: AtomicU64::new(0),
-            mem_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            corrupt: AtomicU64::new(0),
-            simulated: AtomicU64::new(0),
-            inline_simulated: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
+            requested: registry.counter("run_cache_requested_total"),
+            mem_hits: registry.counter("run_cache_mem_hits_total"),
+            disk_hits: registry.counter("run_cache_disk_hits_total"),
+            coalesced: registry.counter("run_cache_coalesced_total"),
+            corrupt: registry.counter("run_cache_corrupt_total"),
+            simulated: registry.counter("run_cache_simulated_total"),
+            inline_simulated: registry.counter("run_cache_inline_simulated_total"),
+            deduped: registry.counter("run_cache_deduped_total"),
+            lookup_ns: registry.histogram("run_cache_lookup_ns"),
+            simulate_ns: registry.histogram("run_cache_simulate_ns"),
+            store_ns: registry.histogram("run_cache_store_ns"),
+            queue_wait_ns: registry.histogram("run_cache_queue_wait_ns"),
+            coalesce_wait_ns: registry.histogram("run_cache_coalesce_wait_ns"),
+            cell_log: Mutex::new(Vec::new()),
+            cell_log_dropped: registry.counter("run_cache_cell_log_dropped_total"),
+            registry,
         }
     }
 
-    /// A cache backed by `disk` in addition to memory.
+    /// A cache backed by `disk` in addition to memory. The disk tier's
+    /// eviction count is adopted into this cache's registry as
+    /// `run_cache_evicted_total`.
     #[must_use]
     pub fn with_disk(disk: DiskCache) -> Self {
-        Self {
+        let cache = Self {
             disk: Some(disk),
             ..Self::in_memory()
+        };
+        if let Some(d) = &cache.disk {
+            cache
+                .registry
+                .adopt_counter("run_cache_evicted_total", &d.evicted);
+        }
+        cache
+    }
+
+    /// The cache's metrics registry (`run_cache_*` counters and phase
+    /// histograms) — snapshot it for `--profile` artifacts and `STATS`
+    /// frames.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The per-cell wall-clock timing log (capped at [`MAX_CELL_LOG`]
+    /// entries; overflow is counted in `run_cache_cell_log_dropped_total`).
+    #[must_use]
+    pub fn cell_timings(&self) -> Vec<CellTiming> {
+        self.cell_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn log_cell(&self, timing: CellTiming) {
+        let mut log = self
+            .cell_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if log.len() >= MAX_CELL_LOG {
+            self.cell_log_dropped.inc();
+        } else {
+            log.push(timing);
         }
     }
 
@@ -512,14 +625,15 @@ impl ResultCache {
     /// into memory). Counts one request plus the tier that answered.
     #[must_use]
     pub fn lookup(&self, key: RunKey) -> Option<Arc<SimReport>> {
-        self.requested.fetch_add(1, Ordering::Relaxed);
+        let _t = self.lookup_ns.span();
+        self.requested.inc();
         if let Some(r) = self.mem.read().get(&key) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem_hits.inc();
             return Some(Arc::clone(r));
         }
         match self.load_disk(key) {
             Some(report) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.inc();
                 let arc = Arc::new(report);
                 Some(Arc::clone(
                     self.mem.write().entry(key).or_insert_with(|| arc),
@@ -535,7 +649,7 @@ impl ResultCache {
             DiskLoad::Hit(report) => Some(report),
             DiskLoad::Miss => None,
             DiskLoad::Corrupt => {
-                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.inc();
                 None
             }
         }
@@ -545,8 +659,9 @@ impl ResultCache {
     /// raced the same key in, the first entry wins (both are identical by
     /// determinism) and its `Arc` is returned.
     pub fn insert_simulated(&self, key: RunKey, report: SimReport) -> Arc<SimReport> {
-        self.simulated.fetch_add(1, Ordering::Relaxed);
+        self.simulated.inc();
         if let Some(d) = &self.disk {
+            let _t = self.store_ns.span();
             d.store(key, &report);
         }
         let arc = Arc::new(report);
@@ -569,26 +684,57 @@ impl ResultCache {
     where
         F: FnOnce() -> SimReport,
     {
-        self.requested.fetch_add(1, Ordering::Relaxed);
+        self.get_or_run_labeled(key, None, 0, simulate)
+    }
+
+    /// [`ResultCache::get_or_run`] with profile attribution: `label`
+    /// names the cell in the per-cell timing log (falling back to the
+    /// key's hex) and `queue_wait_ns` is how long the request sat in a
+    /// batch queue before this call (recorded into
+    /// `run_cache_queue_wait_ns`).
+    pub fn get_or_run_labeled<F>(
+        &self,
+        key: RunKey,
+        label: Option<&str>,
+        queue_wait_ns: u64,
+        simulate: F,
+    ) -> Arc<SimReport>
+    where
+        F: FnOnce() -> SimReport,
+    {
+        let started = Instant::now();
+        if queue_wait_ns > 0 {
+            self.queue_wait_ns.record(queue_wait_ns);
+        }
+        self.requested.inc();
         let mut simulate = Some(simulate);
-        loop {
-            if let Some(r) = self.mem.read().get(&key) {
-                self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(r);
+        let (report, outcome) = loop {
+            {
+                let _t = self.lookup_ns.span();
+                if let Some(r) = self.mem.read().get(&key) {
+                    self.mem_hits.inc();
+                    break (Arc::clone(r), CellOutcome::MemHit);
+                }
             }
             match self.claim(key) {
                 Claim::Hit(r) => {
-                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                    return r;
+                    self.mem_hits.inc();
+                    break (r, CellOutcome::MemHit);
                 }
-                Claim::Follow(slot) => match slot.wait() {
-                    Some(r) => {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        return r;
+                Claim::Follow(slot) => {
+                    let wait = self.coalesce_wait_ns.span();
+                    match slot.wait() {
+                        Some(r) => {
+                            self.coalesced.inc();
+                            break (r, CellOutcome::Coalesced);
+                        }
+                        // The leader died; go claim leadership ourselves.
+                        None => {
+                            drop(wait);
+                            continue;
+                        }
                     }
-                    // The leader died; go claim leadership ourselves.
-                    None => continue,
-                },
+                }
                 Claim::Lead(slot) => {
                     let mut guard = FlightGuard {
                         cache: self,
@@ -598,19 +744,39 @@ impl ResultCache {
                     };
                     // Only the leader probes the disk tier, so a shared
                     // directory sees one read per key per process.
-                    if let Some(report) = self.load_disk(key) {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        return self.publish(&mut guard, Arc::new(report));
+                    let probe = self.lookup_ns.span();
+                    let loaded = self.load_disk(key);
+                    drop(probe);
+                    if let Some(report) = loaded {
+                        self.disk_hits.inc();
+                        break (
+                            self.publish(&mut guard, Arc::new(report)),
+                            CellOutcome::DiskHit,
+                        );
                     }
-                    let report = (simulate.take().expect("leader runs once"))();
-                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    let report = {
+                        let _t = self.simulate_ns.span();
+                        (simulate.take().expect("leader runs once"))()
+                    };
+                    self.simulated.inc();
                     if let Some(d) = &self.disk {
+                        let _t = self.store_ns.span();
                         d.store(key, &report);
                     }
-                    return self.publish(&mut guard, Arc::new(report));
+                    break (
+                        self.publish(&mut guard, Arc::new(report)),
+                        CellOutcome::Simulated,
+                    );
                 }
             }
-        }
+        };
+        self.log_cell(CellTiming {
+            label: label.map_or_else(|| key.hex(), str::to_owned),
+            outcome,
+            queue_wait_ns,
+            total_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
+        report
     }
 
     /// Takes the single-flight claim for `key`. The memory tier is
@@ -656,29 +822,31 @@ impl ResultCache {
 
     /// Records `n` in-batch duplicate submissions.
     pub fn note_deduped(&self, n: u64) {
-        self.deduped.fetch_add(n, Ordering::Relaxed);
+        self.deduped.add(n);
     }
 
     /// Records one simulation that ran inline on a collection path
     /// instead of inside a submitted batch (see
     /// [`EngineStats::inline_simulated`]).
     pub fn note_inline_simulated(&self) {
-        self.inline_simulated.fetch_add(1, Ordering::Relaxed);
+        self.inline_simulated.inc();
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, read back from the metrics registry (the
+    /// `# run-engine:` summary line is therefore rendered from the same
+    /// counters `--profile` and `STATS` expose).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            requested: self.requested.load(Ordering::Relaxed),
-            mem_hits: self.mem_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            corrupt: self.corrupt.load(Ordering::Relaxed),
+            requested: self.requested.get(),
+            mem_hits: self.mem_hits.get(),
+            disk_hits: self.disk_hits.get(),
+            coalesced: self.coalesced.get(),
+            corrupt: self.corrupt.get(),
             evicted: self.disk.as_ref().map_or(0, DiskCache::evicted),
-            simulated: self.simulated.load(Ordering::Relaxed),
-            inline_simulated: self.inline_simulated.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
+            simulated: self.simulated.get(),
+            inline_simulated: self.inline_simulated.get(),
+            deduped: self.deduped.get(),
         }
     }
 }
@@ -879,6 +1047,35 @@ mod tests {
             leader.join().expect("leader thread joins");
         });
         assert_eq!(cache.stats().simulated, 1, "only the takeover publishes");
+    }
+
+    #[test]
+    fn stats_are_rendered_from_the_metrics_registry() {
+        let cache = ResultCache::in_memory();
+        let key = RunKey::from_desc("k");
+        let _ = cache.get_or_run_labeled(key, Some("mcf/Baseline"), 1_500, || report(3));
+        let _ = cache.get_or_run(key, || report(3));
+        let snap = cache.metrics().snapshot();
+        assert_eq!(snap.counter("run_cache_requested_total"), Some(2));
+        assert_eq!(snap.counter("run_cache_simulated_total"), Some(1));
+        assert_eq!(snap.counter("run_cache_mem_hits_total"), Some(1));
+        // The EngineStats snapshot and the registry agree by construction.
+        let st = cache.stats();
+        assert_eq!(st.requested, 2);
+        assert_eq!(st.simulated, 1);
+        assert_eq!(
+            snap.histogram("run_cache_queue_wait_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert!(snap.histogram("run_cache_simulate_ns").unwrap().count == 1);
+
+        let log = cache.cell_timings();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].label, "mcf/Baseline");
+        assert_eq!(log[0].outcome, CellOutcome::Simulated);
+        assert_eq!(log[0].queue_wait_ns, 1_500);
+        assert_eq!(log[1].label, key.hex(), "unlabeled requests use the key");
+        assert_eq!(log[1].outcome, CellOutcome::MemHit);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cache;
 pub mod experiments;
 pub mod mix;
 pub mod plugins;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod scheme;

@@ -231,6 +231,21 @@ impl Harness {
         self.cache.stats()
     }
 
+    /// The run cache's metrics registry (`run_cache_*` counters and
+    /// phase histograms) — the substrate behind [`Harness::engine_stats`],
+    /// `--profile` artifacts, and the serve daemon's `STATS` frame.
+    #[must_use]
+    pub fn metrics(&self) -> &tlp_obs::MetricsRegistry {
+        self.cache.metrics()
+    }
+
+    /// The per-cell wall-clock timing log captured by the run engine
+    /// (label, outcome, queue wait, total duration).
+    #[must_use]
+    pub fn cell_timings(&self) -> Vec<crate::cache::CellTiming> {
+        self.cache.cell_timings()
+    }
+
     /// The single-core workload set (SPEC first, then GAP).
     #[must_use]
     pub fn workloads(&self) -> &[Arc<dyn Workload>] {
@@ -292,9 +307,22 @@ impl Harness {
         if let Some(recs) = self.traces.read().get(&name) {
             return VecTrace::looping(name, recs.as_ref().clone());
         }
+        // Capture under the write lock, re-checking first. `generate`
+        // advances a per-workload pass counter that seeds the generator,
+        // so two workers capturing the same workload concurrently (cold
+        // cache, several schemes of one workload in flight) interleave
+        // passes and record *different* traces — nondeterminism that
+        // leaks straight into reports. Single-flighting the capture
+        // keeps the pass sequence, and therefore every report, identical
+        // to a serial run.
+        let mut traces = self.traces.write();
+        if let Some(recs) = traces.get(&name) {
+            return VecTrace::looping(name, recs.as_ref().clone());
+        }
         let budget = (self.rc.warmup + self.rc.instructions) as usize + 4096;
         let recs = Arc::new(tlp_trace::source::capture(w.as_ref(), budget));
-        self.traces.write().insert(name.clone(), Arc::clone(&recs));
+        traces.insert(name.clone(), Arc::clone(&recs));
+        drop(traces);
         VecTrace::looping(name, recs.as_ref().clone())
     }
 
@@ -502,10 +530,11 @@ impl Harness {
     /// single-threaded on the caller, so it is flagged in the engine
     /// stats (`inline=` in the summary line).
     fn run_cell_arc(&self, cell: &RunCell) -> Arc<SimReport> {
-        self.cache.get_or_run(cell.key, || {
-            self.cache.note_inline_simulated();
-            self.simulate(&cell.kind)
-        })
+        self.cache
+            .get_or_run_labeled(cell.key, Some(&cell.label), 0, || {
+                self.cache.note_inline_simulated();
+                self.simulate(&cell.kind)
+            })
     }
 
     /// A content-addressed key for one step of a *stateful* simulation
@@ -600,13 +629,19 @@ impl Harness {
             todo.push(cell);
         }
         let todo: Vec<(usize, RunCell)> = todo.into_iter().enumerate().collect();
+        // Queue wait is measured from batch submission to worker pickup —
+        // the per-cell phase the profile artifact breaks out.
+        let submitted = std::time::Instant::now();
         self.parallel_map_labeled(
             todo,
             |(_, cell), _| cell.label.clone(),
             |(i, cell)| {
-                let report = self
-                    .cache
-                    .get_or_run(cell.key, || self.simulate(&cell.kind));
+                let wait = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let report =
+                    self.cache
+                        .get_or_run_labeled(cell.key, Some(&cell.label), wait, || {
+                            self.simulate(&cell.kind)
+                        });
                 on_ready(*i, cell, &report);
             },
         );

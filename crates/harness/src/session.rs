@@ -273,6 +273,28 @@ impl Session {
     pub fn engine_stats(&self) -> crate::cache::EngineStats {
         self.harness.engine_stats()
     }
+
+    /// The run cache's metrics registry (see [`Harness::metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> &tlp_obs::MetricsRegistry {
+        self.harness.metrics()
+    }
+
+    /// The `--profile` artifact for this session's runs so far (see
+    /// [`crate::profile`]). `engine` names the configured engine mode.
+    #[must_use]
+    pub fn profile_value(&self, engine: &str) -> tlp_sim::serial::Value {
+        crate::profile::profile_value(&self.harness, engine)
+    }
+
+    /// Writes the `--profile` artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn write_profile(&self, engine: &str, path: &std::path::Path) -> std::io::Result<()> {
+        crate::profile::write_profile(&self.harness, engine, path)
+    }
 }
 
 /// Renders sweep rows as the `--scheme` [`ExperimentResult`] table (one

@@ -1,0 +1,123 @@
+//! End-to-end observability tests: the `--profile` artifact is written
+//! through the same [`Session`] path the CLI uses, parses with the
+//! workspace's own JSON codec, and its counters are field-for-field the
+//! numbers on the `# run-engine:` summary line (both render from the
+//! same metrics registry).
+
+use std::sync::Arc;
+
+use tlp_harness::{RunConfig, Session};
+use tlp_sim::serial::parse_value;
+
+/// Runs a small grid twice over one session — the repeat turns every
+/// cell into a memory hit — then checks the written artifact against
+/// the summary line's counters.
+#[test]
+fn profile_artifact_matches_the_summary_line() {
+    let session = Session::new(RunConfig::test());
+    let h = session.harness();
+    let workloads = h.active_workloads();
+    let scheme = session.resolve_scheme_name("Baseline").expect("scheme");
+    let pf = session.resolve_l1pf_name("ipcp").expect("prefetcher");
+    let cells = |n: usize| {
+        workloads
+            .iter()
+            .take(n)
+            .map(|w| h.cell_single_spec(w, Arc::clone(&scheme), Arc::clone(&pf), None))
+            .collect::<Vec<_>>()
+    };
+    h.run_cells(cells(2)); // cold: both cells simulate
+    h.run_cells(cells(2)); // warm: both cells hit in memory
+
+    let dir = std::env::temp_dir().join(format!("tlp-obs-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("profile.json");
+    session
+        .write_profile("cycle", &path)
+        .expect("profile written");
+
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    let _ = std::fs::remove_dir_all(&dir);
+    let parsed = parse_value(&text).expect("artifact parses with tlp_sim::serial");
+
+    // The run_engine section equals the summary-line counters exactly.
+    let stats = session.engine_stats();
+    let line = stats.summary_line();
+    let re = parsed.field("run_engine").expect("run_engine section");
+    for (field, value) in [
+        ("requested", stats.requested),
+        ("deduped", stats.deduped),
+        ("mem_hits", stats.mem_hits),
+        ("disk_hits", stats.disk_hits),
+        ("coalesced", stats.coalesced),
+        ("corrupt", stats.corrupt),
+        ("evicted", stats.evicted),
+        ("inline_simulated", stats.inline_simulated),
+        ("simulated", stats.simulated),
+    ] {
+        assert_eq!(
+            re.u64_field(field).unwrap(),
+            value,
+            "artifact field {field} equals the registry snapshot"
+        );
+    }
+    // ... and the line itself advertises the same numbers the artifact
+    // carries (the acceptance criterion: artifact ⟷ `# run-engine:`).
+    assert!(
+        line.contains(&format!("simulated={}", stats.simulated)),
+        "line: {line}"
+    );
+    assert!(
+        line.contains(&format!("mem_hits={}", stats.mem_hits)),
+        "line: {line}"
+    );
+    assert_eq!(stats.requested, 4, "two grids of two cells each");
+    assert_eq!(stats.simulated, 2, "cold grid simulated once per cell");
+    assert_eq!(stats.mem_hits, 2, "warm grid answered from memory");
+
+    // The metrics section carries the run-cache counters and the phase
+    // histograms the `--profile` flag exists to expose.
+    let metrics = parsed.arr_field("metrics").expect("metrics section");
+    let find = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.str_field("name").as_deref() == Ok(name))
+            .unwrap_or_else(|| panic!("metric {name} present"))
+    };
+    assert_eq!(
+        find("run_cache_simulated_total")
+            .u64_field("value")
+            .unwrap(),
+        stats.simulated
+    );
+    assert_eq!(
+        find("run_cache_mem_hits_total").u64_field("value").unwrap(),
+        stats.mem_hits
+    );
+    let lookup = find("run_cache_lookup_ns");
+    assert_eq!(lookup.str_field("kind").unwrap(), "histogram");
+    // At least one timed lookup per request (a simulating leader looks
+    // up again when it re-checks the tiers, so the count can exceed it).
+    assert!(lookup.u64_field("count").unwrap() >= stats.requested);
+    let simulate = find("run_cache_simulate_ns");
+    assert_eq!(simulate.u64_field("count").unwrap(), stats.simulated);
+    assert!(simulate.u64_field("p99").unwrap() >= simulate.u64_field("p50").unwrap());
+
+    // The per-cell timing log: 4 entries, 2 simulated then 2 mem hits.
+    let cells_log = parsed.arr_field("cells").expect("cells section");
+    assert_eq!(cells_log.len(), 4);
+    let outcomes: Vec<String> = cells_log
+        .iter()
+        .map(|c| c.str_field("outcome").unwrap())
+        .collect();
+    assert_eq!(
+        outcomes.iter().filter(|o| *o == "simulated").count(),
+        2,
+        "outcomes: {outcomes:?}"
+    );
+    assert_eq!(
+        outcomes.iter().filter(|o| *o == "mem_hit").count(),
+        2,
+        "outcomes: {outcomes:?}"
+    );
+}

@@ -6,7 +6,8 @@
 //!           [--cache-dir DIR] [fig1 fig2 ... | all]
 //!           [--scheme NAME [--l1pf NAME]]
 //!           [--list-schemes] [--list-prefetchers] [--list-components]
-//!           [--serve HOST:PORT | --connect HOST:PORT]
+//!           [--profile FILE.json]
+//!           [--serve HOST:PORT | --connect HOST:PORT [--stats]]
 //! ```
 //!
 //! Simulations run through the harness's content-addressed run engine:
@@ -73,6 +74,8 @@ fn main() {
     let mut l1pf_given = false;
     let mut serve_addr: Option<String> = None;
     let mut connect_addr: Option<String> = None;
+    let mut profile_path: Option<std::path::PathBuf> = None;
+    let mut want_stats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -97,6 +100,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--profile" => match it.next() {
+                Some(path) => profile_path = Some(path.into()),
+                None => {
+                    eprintln!("--profile requires an output file (e.g. --profile p.json)");
+                    std::process::exit(2);
+                }
+            },
+            "--stats" => want_stats = true,
             "--l1pf" => match it.next() {
                 Some(name) => {
                     l1pf_name = name.clone();
@@ -199,8 +210,11 @@ fn main() {
                      --l1pf NAME picks the L1D prefetcher for --scheme sweeps (default: ipcp)\n\
                      --list-schemes / --list-prefetchers / --list-components print the composition registry\n\
                      (--list-components covers all five seams: off-chip predictors, prefetchers, filters)\n\
+                     --profile FILE.json writes the observability artifact after a local run\n\
+                     (run-engine counters, metric registry snapshot, per-cell wall-clock timings)\n\
                      --serve HOST:PORT runs as a simulation daemon (concurrent clients share the cache)\n\
-                     --connect HOST:PORT runs --scheme sweeps on a remote daemon instead of locally",
+                     --connect HOST:PORT runs --scheme sweeps on a remote daemon instead of locally\n\
+                     --stats (with --connect) dumps the daemon's live metrics as Prometheus-style text",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -223,7 +237,7 @@ fn main() {
         std::process::exit(2);
     }
     if connect_addr.is_some() {
-        if schemes.is_empty() {
+        if schemes.is_empty() && !want_stats {
             eprintln!("--connect requires at least one --scheme NAME (sweeps run on the daemon)");
             std::process::exit(2);
         }
@@ -231,6 +245,14 @@ fn main() {
             eprintln!("--connect runs --scheme sweeps only; experiment ids run locally");
             std::process::exit(2);
         }
+    }
+    if profile_path.is_some() && (serve_addr.is_some() || connect_addr.is_some()) {
+        eprintln!("--profile applies to local runs; in --connect mode use --stats instead");
+        std::process::exit(2);
+    }
+    if want_stats && connect_addr.is_none() {
+        eprintln!("--stats queries a live daemon; add --connect HOST:PORT");
+        std::process::exit(2);
     }
     let unknown: Vec<&String> = requested
         .iter()
@@ -401,6 +423,18 @@ fn main() {
                 s.stats.summary_line()
             );
         }
+        // A live metrics snapshot (Prometheus-style text) from the
+        // daemon: request counters, latency quantiles, run-cache and —
+        // when the daemon was built with `obs` — engine metrics.
+        if want_stats {
+            match client.stats() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("--stats: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
     }
     let h = session.harness();
@@ -443,6 +477,16 @@ fn main() {
         rc.engine,
         session.engine_stats().summary_line()
     );
+    // The profile artifact snapshots the same registry the summary line
+    // was just rendered from (no simulation runs in between, so the
+    // counters in both are equal).
+    if let Some(path) = &profile_path {
+        if let Err(e) = session.write_profile(&rc.engine.to_string(), path) {
+            eprintln!("cannot write profile {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("# profile written to {}", path.display());
+    }
 }
 
 fn run_experiment(h: &Harness, id: &str, rc: RunConfig) -> Vec<ExperimentResult> {

@@ -6,7 +6,8 @@ use tlp_sim::serial::SerialError;
 use tlp_sim::SimReport;
 
 use crate::protocol::{
-    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, SummaryFrame, SweepRequest,
+    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame,
+    SweepRequest,
 };
 
 /// Errors surfaced by client-side requests.
@@ -113,12 +114,42 @@ impl Client {
                 Some((FrameKind::Error, payload)) => {
                     return Err(ServeError::Server(ErrorFrame::decode(&payload)?.message))
                 }
-                Some((FrameKind::Request, _)) => {
-                    return Err(ServeError::Protocol(
-                        "unexpected REQUEST frame from server".to_owned(),
-                    ))
+                Some((kind, _)) => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected {kind:?} frame in sweep response"
+                    )))
                 }
             }
+        }
+    }
+
+    /// Asks the daemon for its live metrics snapshot: Prometheus-style
+    /// text with the serve-layer counters and latency quantiles, the
+    /// shared run cache's counters and phase histograms, and (when the
+    /// daemon was built with the `obs` feature) the `sim_*` engine
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] when the daemon rejects the query,
+    /// [`ServeError::Protocol`]/[`ServeError::Io`] on a broken peer or
+    /// transport.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        let query = StatsFrame {
+            text: String::new(),
+        };
+        write_frame(&mut self.stream, FrameKind::Stats, &query.encode())?;
+        match read_frame(&mut self.stream)? {
+            None => Err(ServeError::Protocol(
+                "connection closed mid-response".to_owned(),
+            )),
+            Some((FrameKind::Stats, payload)) => Ok(StatsFrame::decode(&payload)?.text),
+            Some((FrameKind::Error, payload)) => {
+                Err(ServeError::Server(ErrorFrame::decode(&payload)?.message))
+            }
+            Some((kind, _)) => Err(ServeError::Protocol(format!(
+                "unexpected {kind:?} frame in stats response"
+            ))),
         }
     }
 }

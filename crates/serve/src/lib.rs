@@ -56,5 +56,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ServeError, SweepReply};
-pub use protocol::{CellFrame, ErrorFrame, FrameKind, SummaryFrame, SweepRequest, PROTO_VERSION};
+pub use protocol::{
+    CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame, SweepRequest, PROTO_VERSION,
+};
 pub use server::{Server, ServerHandle};

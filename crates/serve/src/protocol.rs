@@ -39,6 +39,10 @@ pub enum FrameKind {
     Summary = 3,
     /// Server → client: the request was rejected; ends the response.
     Error = 4,
+    /// Bidirectional: a client sends an (empty-text) `STATS` frame to
+    /// ask for the daemon's live metrics; the server answers with one
+    /// `STATS` frame carrying a Prometheus-style text snapshot.
+    Stats = 5,
 }
 
 impl FrameKind {
@@ -48,6 +52,7 @@ impl FrameKind {
             2 => Some(Self::Cell),
             3 => Some(Self::Summary),
             4 => Some(Self::Error),
+            5 => Some(Self::Stats),
             _ => None,
         }
     }
@@ -223,6 +228,49 @@ impl SummaryFrame {
     }
 }
 
+/// A metrics exchange: the client's query carries empty `text`, the
+/// server's reply carries the rendered Prometheus-style snapshot
+/// (request counters, latency quantiles, run-cache counters, and —
+/// under the `obs` feature — `sim_*` engine metrics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsFrame {
+    /// Prometheus-style text exposition (empty in a client's query).
+    pub text: String,
+}
+
+impl StatsFrame {
+    /// Encodes the stats payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        Value::Obj(vec![
+            ("proto".to_owned(), Value::Num(PROTO_VERSION)),
+            ("text".to_owned(), Value::Str(self.text.clone())),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Decodes a stats payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] on malformed JSON, a missing field, or a
+    /// protocol-version mismatch.
+    pub fn decode(payload: &[u8]) -> Result<Self, SerialError> {
+        let v = parse_payload(payload)?;
+        let proto = v.u64_field("proto")?;
+        if proto != PROTO_VERSION {
+            return Err(SerialError {
+                offset: 0,
+                message: format!("protocol version {proto} (this build speaks {PROTO_VERSION})"),
+            });
+        }
+        Ok(Self {
+            text: v.str_field("text")?,
+        })
+    }
+}
+
 /// A rejected request (unknown scheme, unknown workload, bad frame, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorFrame {
@@ -379,6 +427,28 @@ mod tests {
             message: "unknown scheme: Basline (did you mean: Baseline?)".to_owned(),
         };
         assert_eq!(ErrorFrame::decode(&err.encode()).expect("decodes"), err);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let query = StatsFrame {
+            text: String::new(),
+        };
+        assert_eq!(StatsFrame::decode(&query.encode()).expect("decodes"), query);
+        let reply = StatsFrame {
+            text: "# TYPE serve_requests_total counter\nserve_requests_total 3\n\
+                   serve_request_latency_ns{quantile=\"0.99\"} 1234\n"
+                .to_owned(),
+        };
+        assert_eq!(StatsFrame::decode(&reply.encode()).expect("decodes"), reply);
+        // The frame kind round-trips over a byte stream like the others.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stats, &reply.encode()).expect("write");
+        let (k, p) = read_frame(&mut std::io::Cursor::new(buf))
+            .expect("read")
+            .expect("frame");
+        assert_eq!(k, FrameKind::Stats);
+        assert_eq!(StatsFrame::decode(&p).expect("decodes"), reply);
     }
 
     #[test]

@@ -13,19 +13,61 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use tlp_harness::{Session, SessionError};
+use tlp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use tlp_trace::emit::Workload;
 
 use crate::protocol::{
-    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, SummaryFrame, SweepRequest,
+    read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame,
+    SweepRequest,
 };
+
+/// The daemon's own instrumentation, on a dedicated registry so a STATS
+/// reply can merge it with the run cache's and the engine's metrics:
+/// connection/request/error counters, the streamed-cell count, an
+/// in-flight-requests gauge, and a wall-clock request latency histogram.
+#[derive(Clone)]
+struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    connections: Counter,
+    requests: Counter,
+    cells_streamed: Counter,
+    errors: Counter,
+    in_flight: Gauge,
+    latency: Histogram,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        Self {
+            connections: registry.counter("serve_connections_total"),
+            requests: registry.counter("serve_requests_total"),
+            cells_streamed: registry.counter("serve_cells_streamed_total"),
+            errors: registry.counter("serve_errors_total"),
+            in_flight: registry.gauge("serve_requests_in_flight"),
+            latency: registry.histogram("serve_request_latency_ns"),
+            registry,
+        }
+    }
+}
+
+/// `+12.345s`: monotonic seconds since the daemon started — every log
+/// line carries one, so interleaved connection handlers stay legible.
+fn stamp(started: Instant) -> String {
+    let e = started.elapsed();
+    format!("+{}.{:03}s", e.as_secs(), e.subsec_millis())
+}
 
 /// A bound, not-yet-serving simulation service.
 pub struct Server {
     listener: TcpListener,
     session: Arc<Session>,
+    metrics: ServeMetrics,
+    started: Instant,
 }
 
 impl std::fmt::Debug for Server {
@@ -47,6 +89,8 @@ impl Server {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             session: Arc::new(session),
+            metrics: ServeMetrics::new(),
+            started: Instant::now(),
         })
     }
 
@@ -91,23 +135,32 @@ impl Server {
     }
 
     fn serve(self, stop: &AtomicBool) -> std::io::Result<()> {
+        let started = self.started;
+        let mut next_conn: u64 = 0;
         for conn in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             match conn {
                 Ok(stream) => {
+                    let id = next_conn;
+                    next_conn += 1;
+                    self.metrics.connections.inc();
                     let session = Arc::clone(&self.session);
+                    let metrics = self.metrics.clone();
                     std::thread::spawn(move || {
-                        if let Err(e) = handle_connection(&stream, &session) {
+                        if let Err(e) = handle_connection(&stream, &session, &metrics) {
                             let peer = stream
                                 .peer_addr()
                                 .map_or_else(|_| "?".to_owned(), |a| a.to_string());
-                            eprintln!("tlp-serve: connection {peer}: {e}");
+                            eprintln!(
+                                "tlp-serve[conn {id} {}]: connection {peer}: {e}",
+                                stamp(started)
+                            );
                         }
                     });
                 }
-                Err(e) => eprintln!("tlp-serve: accept: {e}"),
+                Err(e) => eprintln!("tlp-serve[accept {}]: {e}", stamp(started)),
             }
         }
         Ok(())
@@ -155,29 +208,69 @@ impl Drop for ServerHandle {
 /// Reads requests off one connection until the peer hangs up. A request
 /// the session rejects (unknown scheme, unknown workload, malformed
 /// payload) answers with an ERROR frame and keeps the connection open;
-/// only transport-level failures tear it down.
-fn handle_connection(stream: &TcpStream, session: &Session) -> std::io::Result<()> {
+/// only transport-level failures tear it down. A STATS frame answers
+/// with the daemon's live metrics snapshot.
+fn handle_connection(
+    stream: &TcpStream,
+    session: &Session,
+    metrics: &ServeMetrics,
+) -> std::io::Result<()> {
     let mut reader = stream.try_clone()?;
     let writer = Mutex::new(stream.try_clone()?);
     while let Some((kind, payload)) = read_frame(&mut reader)? {
-        if kind != FrameKind::Request {
-            send_error(&writer, &format!("unexpected {kind:?} frame from client"))?;
-            continue;
+        match kind {
+            FrameKind::Request => {}
+            FrameKind::Stats => {
+                let frame = StatsFrame {
+                    text: render_stats(metrics, session),
+                };
+                let mut w = writer.lock();
+                write_frame(&mut *w, FrameKind::Stats, &frame.encode())?;
+                w.flush()?;
+                continue;
+            }
+            other => {
+                metrics.errors.inc();
+                send_error(&writer, &format!("unexpected {other:?} frame from client"))?;
+                continue;
+            }
         }
         let req = match SweepRequest::decode(&payload) {
             Ok(req) => req,
             Err(e) => {
+                metrics.errors.inc();
                 send_error(&writer, &format!("malformed request: {e}"))?;
                 continue;
             }
         };
-        match answer_sweep(session, &req, &writer) {
+        metrics.requests.inc();
+        metrics.in_flight.inc();
+        let t0 = Instant::now();
+        let result = answer_sweep(session, &req, &writer, metrics);
+        metrics.latency.record_since(t0);
+        metrics.in_flight.dec();
+        match result {
             Ok(()) => {}
-            Err(AnswerError::Reject(msg)) => send_error(&writer, &msg)?,
+            Err(AnswerError::Reject(msg)) => {
+                metrics.errors.inc();
+                send_error(&writer, &msg)?;
+            }
             Err(AnswerError::Io(e)) => return Err(e),
         }
     }
     Ok(())
+}
+
+/// The daemon's own metrics merged with the shared session's run-cache
+/// registry and the process-global registry (`sim_*` engine metrics
+/// when built with the `obs` feature), as Prometheus-style text.
+fn render_stats(metrics: &ServeMetrics, session: &Session) -> String {
+    metrics
+        .registry
+        .snapshot()
+        .merged(session.metrics().snapshot())
+        .merged(tlp_obs::global().snapshot())
+        .render_prometheus()
 }
 
 enum AnswerError {
@@ -197,6 +290,7 @@ fn answer_sweep(
     session: &Session,
     req: &SweepRequest,
     writer: &Mutex<TcpStream>,
+    metrics: &ServeMetrics,
 ) -> Result<(), AnswerError> {
     let scheme = session.resolve_scheme_name(&req.scheme)?;
     let pf = session.resolve_l1pf_name(&req.l1pf)?;
@@ -239,6 +333,8 @@ fn answer_sweep(
             if slot.is_none() {
                 *slot = Some(e);
             }
+        } else {
+            metrics.cells_streamed.inc();
         }
     });
     if let Some(e) = send_failure.into_inner() {

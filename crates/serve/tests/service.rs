@@ -136,6 +136,61 @@ fn rejected_requests_keep_the_connection_usable() {
 }
 
 #[test]
+fn stats_frame_reports_live_service_metrics() {
+    let (handle, addr) = test_server();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A fresh daemon already answers STATS (zero counters).
+    let cold = client.stats().expect("stats before any sweep");
+    assert!(
+        cold.contains("serve_requests_total 0"),
+        "cold snapshot has zeroed counters:\n{cold}"
+    );
+
+    let reply = client.sweep(&baseline_sweep()).expect("sweep");
+    let warm = client.stats().expect("stats after a sweep");
+
+    // Serve-layer counters reflect the one request we made.
+    assert!(
+        warm.contains("serve_requests_total 1"),
+        "one sweep request counted:\n{warm}"
+    );
+    assert!(
+        warm.contains(&format!("serve_cells_streamed_total {}", reply.cells.len())),
+        "every streamed cell counted:\n{warm}"
+    );
+    assert!(
+        warm.contains("serve_errors_total 0"),
+        "no errors counted:\n{warm}"
+    );
+    assert!(
+        warm.contains("serve_requests_in_flight 0"),
+        "the request is no longer in flight:\n{warm}"
+    );
+    // The latency histogram rendered quantile summaries.
+    for q in ["0.5", "0.9", "0.99"] {
+        assert!(
+            warm.contains(&format!("serve_request_latency_ns{{quantile=\"{q}\"}}")),
+            "latency quantile {q} present:\n{warm}"
+        );
+    }
+    assert!(
+        warm.contains("serve_request_latency_ns_count 1"),
+        "one latency sample:\n{warm}"
+    );
+    // The shared run cache's registry is merged into the same snapshot.
+    assert!(
+        warm.contains(&format!(
+            "run_cache_simulated_total {}",
+            reply.summary.stats.simulated
+        )),
+        "run-cache counters ride along:\n{warm}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn a_second_connection_hits_the_warm_cache() {
     let (handle, addr) = test_server();
 

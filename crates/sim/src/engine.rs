@@ -258,6 +258,9 @@ pub struct System {
     /// Ticks actually executed (== elapsed cycles in cycle mode; the gap
     /// to `cycle` is the event engine's skipped-idle-cycle win).
     ticks_executed: u64,
+    /// Write-only instrumentation handles (a zero-sized no-op without
+    /// the `obs` feature).
+    obs: crate::obs::EngineObs,
 }
 
 impl std::fmt::Debug for System {
@@ -327,6 +330,7 @@ impl System {
             mode: EngineMode::default(),
             events: EventQueue::default(),
             ticks_executed: 0,
+            obs: crate::obs::EngineObs::new(),
         }
     }
 
@@ -501,10 +505,28 @@ impl System {
             self.wb_retry.len(),
             self.spec_pending.len(),
         ));
+        // A metrics snapshot makes the stall report self-contained: tick
+        // counts show which components were still being driven, and with
+        // the `obs` feature the full `sim_*` registry rides along.
+        let mut metrics = format!(
+            "  ticks executed {} of {} cycles ({} skipped), event queue depth {}",
+            self.ticks_executed,
+            self.cycle,
+            self.cycle - self.ticks_executed,
+            self.events.len(),
+        );
+        let rendered = crate::obs::EngineObs::render_snapshot();
+        if !rendered.is_empty() {
+            metrics.push_str("\n  obs registry:\n");
+            for line in rendered.lines().filter(|l| l.starts_with("sim_")) {
+                metrics.push_str(&format!("    {line}\n"));
+            }
+        }
         panic!(
             "no instruction retired for 1M cycles at cycle {} ({} engine): deadlock\n\
              stalled core{stalled}: {}\n\
-             per-level occupancy:\n{levels}",
+             per-level occupancy:\n{levels}\n\
+             engine metrics:\n{metrics}",
             self.cycle,
             self.mode,
             self.cores[stalled]
@@ -538,6 +560,7 @@ impl System {
     }
 
     fn finalize_report(&mut self, start: Cycle) -> SimReport {
+        self.obs.on_run_complete(self.cycle, self.ticks_executed);
         // Unused prefetched lines still resident count as useless.
         let evs: Vec<PrefetchEviction> = self
             .cores
@@ -640,14 +663,18 @@ impl System {
             }
         }
         // The core front-ends last: their wake-up needs an ROB walk.
-        for (i, c) in self.cores.iter().enumerate() {
-            if let Some(t) = c.core.next_wake(now, c.trace_exhausted) {
-                if t <= soonest {
-                    return soonest;
+        {
+            let _t = self.obs.rob_walk_span();
+            for (i, c) in self.cores.iter().enumerate() {
+                if let Some(t) = c.core.next_wake(now, c.trace_exhausted) {
+                    if t <= soonest {
+                        return soonest;
+                    }
+                    self.events.schedule(t, comp_core(i));
                 }
-                self.events.schedule(t, comp_core(i));
             }
         }
+        self.obs.event_queue_depth(self.events.len());
         self.events.pop().map_or(soonest, |(t, _)| t)
     }
 
@@ -704,18 +731,25 @@ impl System {
                 i += 1;
             }
         }
-        // 4. LLC.
-        self.tick_llc(now);
-        // 5. Per-core L2, then L1D, then the core itself.
-        for i in 0..self.cores.len() {
-            self.tick_l2(i, now);
+        // 4. The cache hierarchy: LLC, then per-core L2 and L1D.
+        {
+            let _t = self.obs.cache_tick_span();
+            self.tick_llc(now);
+            for i in 0..self.cores.len() {
+                self.tick_l2(i, now);
+            }
+            for i in 0..self.cores.len() {
+                self.tick_l1d(i, now);
+            }
         }
-        for i in 0..self.cores.len() {
-            self.tick_l1d(i, now);
+        // 5. The cores themselves.
+        {
+            let _t = self.obs.core_tick_span();
+            for i in 0..self.cores.len() {
+                self.tick_core(i, now);
+            }
         }
-        for i in 0..self.cores.len() {
-            self.tick_core(i, now);
-        }
+        self.obs.on_tick(self.cores.len() as u64);
     }
 
     fn drain_retries(&mut self, _now: Cycle) {
@@ -1307,6 +1341,32 @@ mod tests {
     fn tiny_system(trace: VecTrace) -> System {
         let cfg = SystemConfig::test_tiny(1);
         System::new(cfg, vec![CoreSetup::new(Box::new(trace))])
+    }
+
+    /// The `obs` feature records engine activity into the global
+    /// registry without changing any simulated result (bit-identity
+    /// under the feature is pinned by the golden/determinism suites in
+    /// CI; here we pin that the metrics actually move).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_feature_records_engine_metrics() {
+        let mut sys = tiny_system(stream_trace(300, 64)).with_engine_mode(EngineMode::Event);
+        let report = sys.run(0, 300);
+        assert_eq!(report.cores[0].core.instructions, 300);
+        let snap = tlp_obs::global().snapshot();
+        let ticks = snap.counter("sim_ticks_executed_total").unwrap_or(0);
+        assert!(ticks >= sys.ticks_executed(), "tick counter must advance");
+        assert!(snap.counter("sim_cycles_advanced_total").unwrap_or(0) >= sys.cycle());
+        assert!(
+            snap.histogram("sim_cache_tick_ns")
+                .is_some_and(|h| h.count > 0),
+            "cache-section spans must record"
+        );
+        assert!(
+            snap.histogram("sim_rob_walk_ns")
+                .is_some_and(|h| h.count > 0),
+            "event mode must time ROB walks"
+        );
     }
 
     #[test]

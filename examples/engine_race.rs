@@ -1,7 +1,10 @@
 //! Races the cycle engine against the event engine on memory-bound
-//! workloads and writes `BENCH_engine.json` (mode, workload, wall-clock,
-//! simulated cycles/second). `scripts/bench-engine.sh` is the packaged
-//! entry point.
+//! workloads and *appends* a timestamped run to `BENCH_engine.json`
+//! (mode, workload, wall-clock, simulated cycles/second), so the file
+//! is a perf trajectory across commits rather than a single point.
+//! `scripts/bench-engine.sh` is the packaged entry point (it stamps the
+//! run via `TLP_BENCH_STAMP`); legacy single-run files are wrapped into
+//! the trajectory as a `pre-trajectory` entry rather than overwritten.
 //!
 //! Both engines simulate the identical system; the example asserts their
 //! reports are field-identical before recording any timing, so the JSON
@@ -80,38 +83,11 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"benchmark\": \"engine-race\",\n");
-    let _ = writeln!(
-        json,
-        "  \"config\": {{\"scale\": \"quick\", \"warmup\": {WARMUP}, \"instructions\": {INSTRUCTIONS}, \"scheme\": \"baseline\", \"l1_prefetcher\": \"ipcp\"}},"
-    );
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"wall_s\": {:.4}, \"simulated_cycles\": {}, \"ticks_executed\": {}, \"sim_cycles_per_sec\": {:.0}}}{}",
-            s.workload,
-            s.mode,
-            s.wall_s,
-            s.simulated_cycles,
-            s.ticks_executed,
-            s.cycles_per_sec(),
-            if i + 1 < samples.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ],\n  \"speedups\": [\n");
-    for (i, pair) in samples.chunks(2).enumerate() {
+    let run = render_run(&stamp(), &samples);
+    for pair in samples.chunks(2) {
         let speedup = pair[0].wall_s / pair[1].wall_s.max(1e-9);
         let skipped =
             100.0 * (1.0 - pair[1].ticks_executed as f64 / pair[1].simulated_cycles.max(1) as f64);
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"event_over_cycle\": {:.2}, \"idle_cycles_skipped_pct\": {:.1}}}{}",
-            pair[0].workload,
-            speedup,
-            skipped,
-            if (i + 1) * 2 < samples.len() { "," } else { "" },
-        );
         println!(
             "{}: cycle {:.3}s, event {:.3}s → {:.2}x (event executed {} of {} cycles, {:.1}% skipped)",
             pair[0].workload,
@@ -123,7 +99,111 @@ fn main() {
             skipped,
         );
     }
-    json.push_str("  ]\n}\n");
+    let json = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => append_run(&existing, &run),
+        Err(_) => fresh_trajectory(&run),
+    };
     std::fs::write(&out_path, json).expect("write BENCH_engine.json");
-    println!("wrote {out_path}");
+    println!("appended run to {out_path}");
+}
+
+/// The run's timestamp: `TLP_BENCH_STAMP` when the caller provides one
+/// (`scripts/bench-engine.sh` sets a UTC `date` string), otherwise Unix
+/// seconds — the example stays dependency-free either way.
+fn stamp() -> String {
+    std::env::var("TLP_BENCH_STAMP").unwrap_or_else(|_| {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        format!("unix:{secs}")
+    })
+}
+
+/// One trajectory entry: stamp, config, per-(workload, mode) results,
+/// and the derived speedups. Indented to sit inside `"runs": [...]`.
+fn render_run(stamp: &str, samples: &[Sample]) -> String {
+    let mut run = String::from("    {\n");
+    let _ = writeln!(run, "      \"stamp\": \"{stamp}\",");
+    let _ = writeln!(
+        run,
+        "      \"config\": {{\"scale\": \"quick\", \"warmup\": {WARMUP}, \"instructions\": {INSTRUCTIONS}, \"scheme\": \"baseline\", \"l1_prefetcher\": \"ipcp\"}},"
+    );
+    run.push_str("      \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            run,
+            "        {{\"workload\": \"{}\", \"mode\": \"{}\", \"wall_s\": {:.4}, \"simulated_cycles\": {}, \"ticks_executed\": {}, \"sim_cycles_per_sec\": {:.0}}}{}",
+            s.workload,
+            s.mode,
+            s.wall_s,
+            s.simulated_cycles,
+            s.ticks_executed,
+            s.cycles_per_sec(),
+            if i + 1 < samples.len() { "," } else { "" },
+        );
+    }
+    run.push_str("      ],\n      \"speedups\": [\n");
+    for (i, pair) in samples.chunks(2).enumerate() {
+        let speedup = pair[0].wall_s / pair[1].wall_s.max(1e-9);
+        let skipped =
+            100.0 * (1.0 - pair[1].ticks_executed as f64 / pair[1].simulated_cycles.max(1) as f64);
+        let _ = writeln!(
+            run,
+            "        {{\"workload\": \"{}\", \"event_over_cycle\": {:.2}, \"idle_cycles_skipped_pct\": {:.1}}}{}",
+            pair[0].workload,
+            speedup,
+            skipped,
+            if (i + 1) * 2 < samples.len() { "," } else { "" },
+        );
+    }
+    run.push_str("      ]\n    }");
+    run
+}
+
+/// A brand-new trajectory file holding one run.
+fn fresh_trajectory(run: &str) -> String {
+    format!("{{\n  \"benchmark\": \"engine-race\",\n  \"runs\": [\n{run}\n  ]\n}}\n")
+}
+
+/// Appends `run` to an existing trajectory. A legacy single-run file
+/// (top-level `results`, no `runs` array) is first wrapped into the
+/// trajectory as a `pre-trajectory` entry; anything unrecognizable is
+/// replaced by a fresh trajectory rather than corrupted further.
+fn append_run(existing: &str, run: &str) -> String {
+    let text = match wrap_legacy(existing) {
+        Some(wrapped) => wrapped,
+        None => existing.to_owned(),
+    };
+    let Some(body) = text.strip_suffix("  ]\n}\n").map(str::trim_end) else {
+        return fresh_trajectory(run);
+    };
+    if !text.contains("\"runs\": [") {
+        return fresh_trajectory(run);
+    }
+    format!("{body},\n{run}\n  ]\n}}\n")
+}
+
+/// Re-indents a legacy single-run `BENCH_engine.json` as the first entry
+/// of a `runs` trajectory, stamped `pre-trajectory`. Returns `None` when
+/// the text is not the legacy shape.
+fn wrap_legacy(text: &str) -> Option<String> {
+    if text.contains("\"runs\"") || !text.contains("\"results\"") {
+        return None;
+    }
+    let mut run = String::from("    {\n      \"stamp\": \"pre-trajectory\",\n");
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "{" || t == "}" || t.starts_with("\"benchmark\"") {
+            continue;
+        }
+        run.push_str("    ");
+        run.push_str(line);
+        run.push('\n');
+    }
+    // The legacy object's last inner line ends with no comma; the wrapped
+    // run closes right after it.
+    let body = run.trim_end().trim_end_matches(',').to_owned();
+    Some(format!(
+        "{{\n  \"benchmark\": \"engine-race\",\n  \"runs\": [\n{body}\n    }}\n  ]\n}}\n"
+    ))
 }

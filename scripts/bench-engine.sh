@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Races the cycle engine against the event engine on memory-bound
-# workloads (one SPEC, one GAP) and writes BENCH_engine.json with, per
-# (workload, mode): wall-clock seconds, simulated cycles, executed ticks,
-# and simulated cycles/second — plus the event-over-cycle speedup and the
-# share of idle cycles skipped.
+# workloads (one SPEC, one GAP) and APPENDS a timestamped run to
+# BENCH_engine.json — the file is a perf trajectory across commits, with
+# per (workload, mode): wall-clock seconds, simulated cycles, executed
+# ticks, and simulated cycles/second — plus the event-over-cycle speedup
+# and the share of idle cycles skipped. A legacy single-run file is
+# wrapped into the trajectory (as a "pre-trajectory" entry), never
+# overwritten.
 #
 # Usage: scripts/bench-engine.sh [output.json]
 #
@@ -12,5 +15,9 @@
 # bought with accuracy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Stamp the run (UTC) so the trajectory orders itself; the example falls
+# back to Unix seconds when unset.
+export TLP_BENCH_STAMP="${TLP_BENCH_STAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 cargo run --release --example engine_race -- "${1:-BENCH_engine.json}"
