@@ -1,0 +1,72 @@
+//! Steady-state tick cost of the zero-alloc busy phase: a warmed system
+//! (scratch buffers, waiter freelists, DRAM queues, page table all at
+//! capacity) ticked in fixed batches. `tests/zero_alloc.rs` pins that
+//! this loop performs zero allocations; this bench watches what that
+//! loop costs, so an accidental per-cycle allocation or a hot-loop
+//! regression shows up as a throughput drop next to the other benches.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tlp_sim::engine::{CoreSetup, System};
+use tlp_sim::SystemConfig;
+use tlp_trace::source::TraceSource;
+use tlp_trace::{Reg, TraceRecord};
+
+/// Cycles ticked per bench iteration.
+const BATCH: u64 = 10_000;
+
+/// An endless cyclic instruction stream over a bounded working set: 128
+/// lines, a store every seventh record, small caches missing
+/// constantly. Generating on the fly (rather than pre-capturing)
+/// keeps the source infinite, so the warmed system never quiesces no
+/// matter how many batches Criterion asks for.
+struct CyclicTrace {
+    i: u64,
+}
+
+impl TraceSource for CyclicTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let i = self.i;
+        self.i += 1;
+        let addr = 0x10_0000 + (i % 128) * 64;
+        Some(if i % 7 == 3 {
+            TraceRecord::store(0x404, addr, 8, Some(Reg(1)), None)
+        } else {
+            TraceRecord::load(0x400, addr, 8, Reg(1), [None, None])
+        })
+    }
+
+    fn name(&self) -> &str {
+        "cyclic"
+    }
+}
+
+fn alloc_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(BATCH));
+
+    // One long-lived warmed system, ticked forward batch by batch: the
+    // measured region is exactly the allocation-free steady state.
+    let cfg = SystemConfig::test_tiny(1);
+    let mut sys = System::new(cfg, vec![CoreSetup::new(Box::new(CyclicTrace { i: 0 }))]);
+    for _ in 0..40_000 {
+        sys.tick();
+    }
+    g.bench_function("steady_state_ticks", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                sys.tick();
+            }
+            sys.cycle()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(alloc, alloc_benches);
+criterion_main!(alloc);

@@ -89,6 +89,20 @@ pub struct TickOutput {
     pub pf_dropped_hit: u64,
 }
 
+impl TickOutput {
+    /// Clears every field while keeping allocated capacity — the engine
+    /// passes one reusable `TickOutput` to every component tick, so the
+    /// steady-state hot loop never reallocates these vectors.
+    pub fn clear(&mut self) {
+        self.hits.clear();
+        self.forwards.clear();
+        self.demand_accesses.clear();
+        self.pf_useful.clear();
+        self.demand_misses.clear();
+        self.pf_dropped_hit = 0;
+    }
+}
+
 /// Result of a [`Cache::fill`].
 #[derive(Debug, Default)]
 pub struct FillOutput {
@@ -113,6 +127,10 @@ pub struct Cache {
     mshrs: Vec<Mshr>,
     demand_q: VecDeque<(Cycle, Request)>,
     prefetch_q: VecDeque<(Cycle, Request)>,
+    /// Recycled MSHR waiter buffers: resolved fills return their
+    /// (cleared) `Vec<Request>` via [`Cache::recycle_waiters`] and fresh
+    /// MSHRs reuse them, so steady-state misses allocate nothing.
+    free_waiters: Vec<Vec<Request>>,
     /// Counters.
     pub stats: CacheStats,
 }
@@ -152,6 +170,7 @@ impl Cache {
             mshrs: Vec::with_capacity(cfg.mshrs),
             demand_q: VecDeque::new(),
             prefetch_q: VecDeque::new(),
+            free_waiters: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -217,13 +236,22 @@ impl Cache {
         true
     }
 
-    /// Processes all ready queue entries for this cycle.
+    /// Processes all ready queue entries for this cycle. Allocating
+    /// convenience wrapper around [`Cache::tick_into`] for tests and
+    /// simple callers.
     pub fn tick(&mut self, now: Cycle) -> TickOutput {
         let mut out = TickOutput::default();
-        // Demands first, then prefetches, mirroring ChampSim's priority.
-        self.drain_queue(now, /*demand=*/ true, &mut out);
-        self.drain_queue(now, /*demand=*/ false, &mut out);
+        self.tick_into(now, &mut out);
         out
+    }
+
+    /// Processes all ready queue entries for this cycle, appending to
+    /// `out`. The engine passes one cleared, reusable scratch buffer so
+    /// the per-cycle path never allocates here.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut TickOutput) {
+        // Demands first, then prefetches, mirroring ChampSim's priority.
+        self.drain_queue(now, /*demand=*/ true, out);
+        self.drain_queue(now, /*demand=*/ false, out);
     }
 
     fn drain_queue(&mut self, now: Cycle, demand: bool, out: &mut TickOutput) {
@@ -237,24 +265,32 @@ impl Cache {
             if ready > now {
                 break;
             }
-            // Peek-then-commit: MSHR exhaustion keeps the entry queued.
-            let (_, req) = q.front().cloned().expect("checked nonempty");
-            if !self.lookup(req, now, out) {
+            // Pop-then-commit: on MSHR exhaustion the lookup hands the
+            // request back and it returns to the queue front for a retry
+            // next cycle — head-of-line order preserved, nothing cloned.
+            let (_, req) = q.pop_front().expect("checked nonempty");
+            if let Err(req) = self.lookup(req, now, out) {
                 self.stats.mshr_stalls += 1;
+                let q = if demand {
+                    &mut self.demand_q
+                } else {
+                    &mut self.prefetch_q
+                };
+                q.push_front((ready, req));
                 break;
             }
-            let q = if demand {
-                &mut self.demand_q
-            } else {
-                &mut self.prefetch_q
-            };
-            q.pop_front();
         }
     }
 
-    /// Looks up one request. Returns false when the request could not be
-    /// handled this cycle (MSHR pressure) and must be retried.
-    fn lookup(&mut self, mut req: Request, _now: Cycle, out: &mut TickOutput) -> bool {
+    /// Looks up one request. Hands the request back (`Err`) when it could
+    /// not be handled this cycle (MSHR pressure) and must be retried.
+    #[allow(clippy::result_large_err)] // by-value retry handback, no boxing
+    fn lookup(
+        &mut self,
+        mut req: Request,
+        _now: Cycle,
+        out: &mut TickOutput,
+    ) -> Result<(), Request> {
         let line = req.line();
         let set = self.set_of(line);
         let is_demand = req.kind.is_demand();
@@ -302,7 +338,7 @@ impl Cache {
                 out.demand_accesses.push((req.clone(), true));
                 out.hits.push(req);
             }
-            return true;
+            return Ok(());
         }
         // Miss. Merge into an existing MSHR when possible. A merged request
         // did not initiate any downstream traffic — it is effectively
@@ -324,11 +360,11 @@ impl Cache {
                 }
             }
             m.waiters.push(req);
-            return true;
+            return Ok(());
         }
         // Need a fresh MSHR.
         if self.mshrs.len() >= self.cfg.mshrs {
-            return false;
+            return Err(req);
         }
         if is_demand {
             self.stats.demand_misses += 1;
@@ -340,12 +376,21 @@ impl Cache {
                 out.demand_accesses.push((req.clone(), false));
             }
         }
-        self.mshrs.push(Mshr {
-            line,
-            waiters: vec![req.clone()],
-        });
+        let mut waiters = self.free_waiters.pop().unwrap_or_default();
+        waiters.push(req.clone());
+        self.mshrs.push(Mshr { line, waiters });
         out.forwards.push(req);
-        true
+        Ok(())
+    }
+
+    /// Returns a consumed fill's waiter buffer to the MSHR freelist. The
+    /// engine calls this after routing a [`FillOutput`]'s waiters so the
+    /// next MSHR allocation reuses the capacity instead of allocating.
+    pub fn recycle_waiters(&mut self, mut v: Vec<Request>) {
+        if v.capacity() > 0 && self.free_waiters.len() < self.cfg.mshrs.max(8) {
+            v.clear();
+            self.free_waiters.push(v);
+        }
     }
 
     /// Data for `line` arrived from downstream (`served_from` = providing
@@ -572,7 +617,8 @@ impl tlp_events::Component for Cache {
     }
 
     fn tick(&mut self, now: Cycle, out: &mut TickOutput) -> Option<Cycle> {
-        *out = Cache::tick(self, now);
+        out.clear();
+        Cache::tick_into(self, now, out);
         self.next_ready()
     }
 }

@@ -31,20 +31,32 @@ enum EntryState {
     Done,
 }
 
+/// Producer-seq sentinel for "no dependency" (`seq` never reaches it).
+/// A plain `u64` beats `Option<u64>` here: the pair shrinks from 32 to
+/// 16 bytes, and the scheduler scan walks thousands of entries per
+/// simulated kilocycle, so entry footprint is scan bandwidth.
+const NO_DEP: u64 = u64::MAX;
+
+/// `repr(C)` pins the declared field order: everything the scheduler
+/// scan reads before deciding to issue (`state`, `dispatched_at`,
+/// `deps`, `seq`) sits in the first 48 bytes, so a scan that skips or
+/// rejects an entry touches one cache line, not the whole ~100-byte
+/// entry.
 #[derive(Debug, Clone)]
+#[repr(C)]
 struct RobEntry {
-    seq: u64,
-    rec: TraceRecord,
     state: EntryState,
-    exec_done_at: Cycle,
-    deps: [Option<u64>; 2],
-    dispatched_at: Cycle,
-    /// Off-chip prediction tag (loads).
-    offchip: OffChipTag,
     /// Set when the engine issued the delayed speculative DRAM request.
     spec_issued: bool,
     /// Branch mispredicted at dispatch.
     mispredicted: bool,
+    dispatched_at: Cycle,
+    deps: [u64; 2],
+    seq: u64,
+    exec_done_at: Cycle,
+    rec: TraceRecord,
+    /// Off-chip prediction tag (loads).
+    offchip: OffChipTag,
 }
 
 /// A load the core wants to send to the L1D this cycle.
@@ -104,6 +116,22 @@ pub struct Core {
     sq_used: usize,
     /// Retired stores waiting for the L1D write port.
     store_buffer: VecDeque<StoreIssue>,
+    /// In-ROB stores as `(seq, word address)`, FIFO by seq: the
+    /// store-to-load-forwarding check scans these few entries instead of
+    /// the whole ROB prefix. Pushed at dispatch, popped at retirement
+    /// (stores retire in order, so the front is always the oldest).
+    store_words: VecDeque<(u64, u64)>,
+    /// How many ROB entries are in [`EntryState::Waiting`]. Entries enter
+    /// Waiting only at dispatch and leave only inside
+    /// [`Core::schedule_into`], so the count is exact — and when it is
+    /// zero (memory-bound stall: everything in flight or done) the
+    /// scheduler scan is skipped entirely.
+    waiting_count: usize,
+    /// Lower bound on the seq of the oldest Waiting entry: every entry
+    /// with a smaller seq is known not to be Waiting, so scans start here
+    /// instead of at the ROB head. Purely an iteration-skip hint — which
+    /// entries get examined (and in what order) is unchanged.
+    first_waiting_seq: u64,
     branch: BranchPredictor,
     /// Dispatch is stalled until this branch seq resolves.
     stall_on_branch: Option<u64>,
@@ -140,6 +168,9 @@ impl Core {
             lq_used: 0,
             sq_used: 0,
             store_buffer: VecDeque::new(),
+            store_words: VecDeque::new(),
+            waiting_count: 0,
+            first_waiting_seq: 0,
             branch: BranchPredictor::new(),
             stall_on_branch: None,
             fetch_resume_at: 0,
@@ -190,10 +221,10 @@ impl Core {
         self.rob.get(idx)
     }
 
-    fn dep_ready(&self, dep: Option<u64>, now: Cycle) -> bool {
+    fn dep_ready(&self, dep: u64, now: Cycle) -> bool {
         match dep {
-            None => true,
-            Some(seq) => {
+            NO_DEP => true,
+            seq => {
                 if seq < self.front_seq {
                     return true; // producer retired
                 }
@@ -271,8 +302,12 @@ impl Core {
         let seq = self.next_seq;
         self.next_seq += 1;
         let deps = [
-            rec.src1.map(|r| self.rename[r.index()]).unwrap_or(None),
-            rec.src2.map(|r| self.rename[r.index()]).unwrap_or(None),
+            rec.src1
+                .and_then(|r| self.rename[r.index()])
+                .unwrap_or(NO_DEP),
+            rec.src2
+                .and_then(|r| self.rename[r.index()])
+                .unwrap_or(NO_DEP),
         ];
         let mut entry = RobEntry {
             seq,
@@ -292,6 +327,7 @@ impl Core {
             }
             Op::Store => {
                 self.sq_used += 1;
+                self.store_words.push_back((seq, rec.addr & !7));
             }
             Op::Branch => {
                 let predicted = self.branch.predict_and_train(rec.pc, rec.taken);
@@ -308,6 +344,10 @@ impl Core {
         if let Some(dst) = rec.dst {
             self.rename[dst.index()] = Some(seq);
         }
+        if self.waiting_count == 0 {
+            self.first_waiting_seq = seq;
+        }
+        self.waiting_count += 1;
         self.rob.push_back(entry);
         // Stop dispatching past a mispredicted branch this cycle.
         self.stall_on_branch.is_none()
@@ -316,14 +356,31 @@ impl Core {
     /// Starts execution of ready instructions (up to `issue_width`, with at
     /// most `l1d_ports` loads sent to memory). Returns the loads the engine
     /// must translate and issue; store-to-load-forwarded loads complete
-    /// internally.
+    /// internally. Allocating convenience wrapper around
+    /// [`Core::schedule_into`] for tests and simple callers.
     pub fn schedule(&mut self, now: Cycle) -> Vec<LoadIssue> {
+        let mut out = Vec::new();
+        self.schedule_into(now, &mut out);
+        out
+    }
+
+    /// As [`Core::schedule`], appending issued loads to a caller-provided
+    /// buffer — the engine reuses one scratch `Vec` across cores and
+    /// cycles so the per-cycle path allocates nothing here.
+    pub fn schedule_into(&mut self, now: Cycle, out: &mut Vec<LoadIssue>) {
+        // Fast path for memory-bound stalls: everything is in flight or
+        // done, so there is nothing the scheduler could issue.
+        if self.waiting_count == 0 {
+            return;
+        }
         let mut issued = 0;
         let mut loads_issued = 0;
-        let mut out = Vec::new();
         let window = self.cfg.sched_window;
         let mut examined = 0;
-        for idx in 0..self.rob.len() {
+        // Skip the known non-Waiting prefix; the entries examined (and
+        // their order) are identical to a scan from the ROB head.
+        let start = (self.first_waiting_seq.saturating_sub(self.front_seq)) as usize;
+        for idx in start..self.rob.len() {
             if issued >= self.cfg.issue_width {
                 break;
             }
@@ -338,9 +395,26 @@ impl Core {
             if e.dispatched_at >= now {
                 continue;
             }
-            if !self.dep_ready(e.deps[0], now) || !self.dep_ready(e.deps[1], now) {
+            // Dep readiness is monotone (a producer never un-finishes), so
+            // a dep observed ready is cleared to `None` — entries examined
+            // across many cycles pay each producer lookup once, not per
+            // tick. `dep_ready(None)` is true, so nothing downstream (the
+            // issue check here, `next_wake`'s candidate scan) can tell a
+            // cleared dep from a ready one.
+            let deps = e.deps;
+            if !self.dep_ready(deps[0], now) {
                 continue;
             }
+            if deps[0] != NO_DEP {
+                self.rob[idx].deps[0] = NO_DEP;
+            }
+            if !self.dep_ready(deps[1], now) {
+                continue;
+            }
+            if deps[1] != NO_DEP {
+                self.rob[idx].deps[1] = NO_DEP;
+            }
+            let e = &self.rob[idx];
             let seq = e.seq;
             let rec = e.rec;
             match rec.op {
@@ -348,6 +422,7 @@ impl Core {
                     let e = &mut self.rob[idx];
                     e.state = EntryState::Done;
                     e.exec_done_at = now + 1;
+                    self.waiting_count -= 1;
                     issued += 1;
                 }
                 Op::Fp => {
@@ -355,12 +430,14 @@ impl Core {
                     let e = &mut self.rob[idx];
                     e.state = EntryState::Done;
                     e.exec_done_at = now + lat;
+                    self.waiting_count -= 1;
                     issued += 1;
                 }
                 Op::Branch => {
                     let e = &mut self.rob[idx];
                     e.state = EntryState::Done;
                     e.exec_done_at = now + 1;
+                    self.waiting_count -= 1;
                     issued += 1;
                 }
                 Op::Store => {
@@ -368,6 +445,7 @@ impl Core {
                     let e = &mut self.rob[idx];
                     e.state = EntryState::Done;
                     e.exec_done_at = now + 1;
+                    self.waiting_count -= 1;
                     issued += 1;
                 }
                 Op::Load => {
@@ -376,10 +454,11 @@ impl Core {
                     }
                     // Store-to-load forwarding: an older in-flight store to
                     // the same 8-byte word supplies the data directly.
-                    if self.older_store_matches(idx, rec.addr) {
+                    if self.older_store_matches(seq, rec.addr) {
                         let e = &mut self.rob[idx];
                         e.state = EntryState::Done;
                         e.exec_done_at = now + 1;
+                        self.waiting_count -= 1;
                         self.lq_used -= 1;
                         if !self.stats_frozen {
                             self.stats.store_forwards += 1;
@@ -390,6 +469,7 @@ impl Core {
                     let offchip = self.rob[idx].offchip;
                     let e = &mut self.rob[idx];
                     e.state = EntryState::WaitingMemory;
+                    self.waiting_count -= 1;
                     out.push(LoadIssue {
                         seq,
                         pc: rec.pc,
@@ -401,14 +481,32 @@ impl Core {
                 }
             }
         }
-        out
+        // Advance the hint in a separate tight scan: the main loop stays
+        // free of per-iteration bookkeeping (an extra live value there
+        // spills the hot loop's registers), and this scan stops at the
+        // first entry that is still Waiting — exactly the prefix the next
+        // call can skip. With nothing Waiting the stale hint is harmless:
+        // the fast path above returns before reading it.
+        if self.waiting_count > 0 {
+            let mut idx = start;
+            while idx < self.rob.len() && self.rob[idx].state != EntryState::Waiting {
+                idx += 1;
+            }
+            self.first_waiting_seq = self.front_seq + idx as u64;
+        }
     }
 
-    fn older_store_matches(&self, load_idx: usize, addr: u64) -> bool {
+    fn older_store_matches(&self, load_seq: u64, addr: u64) -> bool {
         let word = addr & !7;
-        // In-ROB older stores.
-        for e in self.rob.iter().take(load_idx) {
-            if e.rec.op == Op::Store && e.rec.addr & !7 == word {
+        // In-ROB older stores: `store_words` holds exactly the in-ROB
+        // stores in seq order, so this scans a handful of stores instead
+        // of the whole ROB prefix. Entries at or past the load are not
+        // "older" — stop there.
+        for &(seq, w) in &self.store_words {
+            if seq >= load_seq {
+                break;
+            }
+            if w == word {
                 return true;
             }
         }
@@ -463,6 +561,8 @@ impl Core {
             }
             if e.rec.op == Op::Store {
                 self.sq_used -= 1;
+                let popped = self.store_words.pop_front();
+                debug_assert_eq!(popped.map(|(s, _)| s), Some(e.seq));
                 self.store_buffer.push_back(StoreIssue {
                     pc: e.rec.pc,
                     vaddr: e.rec.addr,
@@ -602,20 +702,42 @@ impl Core {
         // Scheduler: a waiting entry becomes issueable once every
         // producer has finished at a known time. Producers still waiting
         // (on operands or memory) yield no candidate here — when they
-        // execute, that tick re-computes the wake-up. Width/window limits
-        // are ignored: they only make a wake-up a no-op, never late.
-        for e in &self.rob {
+        // execute, that tick re-computes the wake-up. Width limits are
+        // ignored: they only make a wake-up a no-op, never late. The scan
+        // is bounded to the scheduling window exactly like
+        // [`Core::schedule`]: entries past the first `sched_window`
+        // Waiting entries cannot issue until the Waiting prefix shrinks,
+        // which only happens inside an executed tick — after which this
+        // wake-up is recomputed. Bounding cuts the busy-phase walk from
+        // the full ROB to the window without ever waking late.
+        // `waiting_count`/`first_waiting_seq` skip work, never entries:
+        // with nothing Waiting the scan finds no candidate, and the
+        // entries before the first Waiting seq are known non-Waiting.
+        let start = if self.waiting_count == 0 {
+            self.rob.len()
+        } else {
+            (self.first_waiting_seq.saturating_sub(self.front_seq)) as usize
+        };
+        let mut examined = 0;
+        for e in self.rob.iter().skip(start) {
             if wake == soonest {
                 break;
             }
             if e.state != EntryState::Waiting {
                 continue;
             }
+            examined += 1;
+            if examined > self.cfg.sched_window {
+                break;
+            }
             // Issue starts the cycle after dispatch (`dispatched_at < now`).
             let mut t = (e.dispatched_at + 1).max(soonest);
             let mut known = true;
-            for dep in e.deps.iter().flatten() {
-                match self.entry(*dep) {
+            for &dep in &e.deps {
+                if dep == NO_DEP {
+                    continue;
+                }
+                match self.entry(dep) {
                     None => {} // producer retired: ready
                     Some(p) if p.state == EntryState::Done => {
                         t = t.max(p.exec_done_at).max(soonest);

@@ -16,6 +16,13 @@ struct Txn {
     core: CoreId,
     is_write: bool,
     is_spec: bool,
+    /// Bank index, fixed by the line address. Computed once at enqueue:
+    /// the FR-FCFS scan revisits every queued transaction every cycle,
+    /// and `line % banks` / row division there would put two integer
+    /// divisions per entry in the per-tick path.
+    bank: usize,
+    /// Row index, fixed by the line address (see `bank`).
+    row: u64,
     /// Demand/prefetch requests waiting on this transaction.
     waiters: Vec<Request>,
     /// Completion cycle once scheduled.
@@ -44,11 +51,24 @@ pub struct Dram {
     in_flight: Vec<Txn>,
     banks: Vec<Bank>,
     bus_free_at: Cycle,
+    /// Earliest `done_at` across `in_flight` (`Cycle::MAX` when empty):
+    /// lets the completion scan be skipped on the many cycles where
+    /// nothing can finish. Exact, not conservative — pushed down on
+    /// issue, recomputed after completions are harvested.
+    earliest_done: Cycle,
     ddrp: VecDeque<DdrpEntry>,
     draining_writes: bool,
+    /// Recycled waiter buffers: completed transactions return their
+    /// (cleared) `Vec<Request>` here and new read transactions reuse
+    /// them, so a warmed-up controller allocates nothing per tick.
+    free_waiters: Vec<Vec<Request>>,
     /// Counters.
     pub stats: DramStats,
 }
+
+/// Freelist bound: enough for every read-queue slot plus in-flight
+/// transactions at realistic configs; beyond it buffers are dropped.
+const FREE_WAITERS_CAP: usize = 128;
 
 impl std::fmt::Debug for Dram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -77,8 +97,10 @@ impl Dram {
                 cfg.banks
             ],
             bus_free_at: 0,
+            earliest_done: Cycle::MAX,
             ddrp: VecDeque::new(),
             draining_writes: false,
+            free_waiters: Vec::new(),
             cfg,
             stats: DramStats::default(),
         }
@@ -101,9 +123,14 @@ impl Dram {
     /// Enqueues a demand/prefetch read. If a transaction (including a
     /// speculative one) for the same line is already queued or in flight,
     /// the request merges into it — this is how a demand "catches up with"
-    /// its Hermes speculative request. Returns false when the read queue is
-    /// full (caller retries next cycle).
-    pub fn push_read(&mut self, req: Request) -> bool {
+    /// its Hermes speculative request. When the read queue is full the
+    /// request is handed back unchanged (`Err`), so the caller retries
+    /// next cycle by moving the same value — no clone on the retry path.
+    // The large Err is the point: the rejected request moves back to the
+    // caller's retry queue by value. Boxing would put the retry storm on
+    // the allocator, which tests/zero_alloc.rs forbids.
+    #[allow(clippy::result_large_err)]
+    pub fn push_read(&mut self, req: Request) -> Result<(), Request> {
         let line = req.line();
         let core = req.core;
         for t in self.in_flight.iter_mut().chain(self.read_q.iter_mut()) {
@@ -113,29 +140,35 @@ impl Dram {
                     t.is_spec = false; // now carries a real demand
                 }
                 t.waiters.push(req);
-                return true;
+                return Ok(());
             }
         }
         if self.read_q.len() >= self.cfg.read_queue {
             self.stats.read_queue_full += 1;
-            return false;
+            return Err(req);
         }
         self.stats.reads += 1;
+        let mut waiters = self.free_waiters.pop().unwrap_or_default();
+        waiters.push(req);
         self.read_q.push_back(Txn {
             line,
             core,
             is_write: false,
             is_spec: false,
-            waiters: vec![req],
+            bank: self.bank_of(line),
+            row: self.row_of(line),
+            waiters,
             done_at: None,
         });
-        true
+        Ok(())
     }
 
-    /// Enqueues a speculative (off-chip predictor) read. Silently dropped
-    /// when the read queue is full or a transaction for the line already
-    /// exists (the spec request would be redundant).
-    pub fn push_speculative(&mut self, req: Request) {
+    /// Enqueues a speculative (off-chip predictor) read. Handed back
+    /// (`Err`) when the read queue is full or a transaction for the line
+    /// already exists (the spec request would be redundant) — callers
+    /// that don't retry simply drop the returned request.
+    #[allow(clippy::result_large_err)] // by-value handback, see push_read
+    pub fn push_speculative(&mut self, req: Request) -> Result<(), Request> {
         debug_assert_eq!(req.kind, ReqKind::Speculative);
         let line = req.line();
         let exists = self
@@ -148,11 +181,11 @@ impl Dram {
                 .iter()
                 .any(|e| e.line == line && e.core == req.core);
         if exists {
-            return;
+            return Err(req);
         }
         if self.read_q.len() >= self.cfg.read_queue {
             self.stats.spec_dropped += 1;
-            return;
+            return Err(req);
         }
         self.stats.spec_reads += 1;
         self.read_q.push_back(Txn {
@@ -160,9 +193,12 @@ impl Dram {
             core: req.core,
             is_write: false,
             is_spec: true,
+            bank: self.bank_of(line),
+            row: self.row_of(line),
             waiters: Vec::new(),
             done_at: None,
         });
+        Ok(())
     }
 
     /// Enqueues a writeback. Returns false when the write queue is full.
@@ -171,11 +207,14 @@ impl Dram {
             return false;
         }
         self.stats.writes += 1;
+        let line = paddr / LINE_SIZE;
         self.write_q.push_back(Txn {
-            line: paddr / LINE_SIZE,
+            line,
             core,
             is_write: true,
             is_spec: false,
+            bank: self.bank_of(line),
+            row: self.row_of(line),
             waiters: Vec::new(),
             done_at: None,
         });
@@ -201,15 +240,29 @@ impl Dram {
     }
 
     /// Advances the controller one cycle; returns requests whose data is
-    /// now available (their waiters, with in-flight spec fills parked in
-    /// the DDRP buffer instead).
+    /// now available. Allocating convenience wrapper around
+    /// [`Dram::tick_into`] for tests and simple callers.
     pub fn tick(&mut self, now: Cycle) -> Vec<Request> {
-        self.schedule(now);
         let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advances the controller one cycle, appending requests whose data
+    /// is now available to `done` (in-flight spec fills park in the DDRP
+    /// buffer instead). Completed transactions return their waiter
+    /// buffers to the freelist, so the warmed-up hot loop is
+    /// allocation-free.
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<Request>) {
+        self.schedule(now);
+        // Nothing in flight can have finished yet: skip the scan.
+        if self.earliest_done > now {
+            return;
+        }
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].done_at.is_some_and(|d| d <= now) {
-                let t = self.in_flight.swap_remove(i);
+                let mut t = self.in_flight.swap_remove(i);
                 if t.is_spec {
                     if self.ddrp.len() >= self.cfg.ddrp_buffer {
                         self.ddrp.pop_front();
@@ -220,13 +273,29 @@ impl Dram {
                         core: t.core,
                     });
                 } else {
-                    done.extend(t.waiters);
+                    done.append(&mut t.waiters);
                 }
+                self.recycle_waiters(t.waiters);
             } else {
                 i += 1;
             }
         }
-        done
+        self.earliest_done = self
+            .in_flight
+            .iter()
+            .filter_map(|t| t.done_at)
+            .min()
+            .unwrap_or(Cycle::MAX);
+    }
+
+    /// Returns a consumed waiter buffer to the freelist. Zero-capacity
+    /// buffers (spec/write transactions never gained a waiter) carry
+    /// nothing worth keeping and are dropped.
+    fn recycle_waiters(&mut self, mut v: Vec<Request>) {
+        if v.capacity() > 0 && self.free_waiters.len() < FREE_WAITERS_CAP {
+            v.clear();
+            self.free_waiters.push(v);
+        }
     }
 
     /// FR-FCFS with write draining: writes are serviced in bursts when the
@@ -250,16 +319,19 @@ impl Dram {
         if q.is_empty() {
             return;
         }
+        // With every bank busy no entry is schedulable; the FR-FCFS scan
+        // below would walk the whole queue to pick nothing.
+        if !self.banks.iter().any(|b| b.busy_until <= now) {
+            return;
+        }
         // FR-FCFS pick: first row hit on a free bank, else oldest on a free
         // bank.
         let mut pick: Option<usize> = None;
         for (i, t) in q.iter().enumerate() {
-            let bank = (t.line % self.banks.len() as u64) as usize;
-            if self.banks[bank].busy_until > now {
+            if self.banks[t.bank].busy_until > now {
                 continue;
             }
-            let row = t.line * LINE_SIZE / self.cfg.row_bytes;
-            if self.banks[bank].open_row == Some(row) {
+            if self.banks[t.bank].open_row == Some(t.row) {
                 pick = Some(i);
                 break;
             }
@@ -269,8 +341,8 @@ impl Dram {
         }
         let Some(idx) = pick else { return };
         let mut t = q.remove(idx).expect("index valid");
-        let bank_idx = self.bank_of(t.line);
-        let row = self.row_of(t.line);
+        let bank_idx = t.bank;
+        let row = t.row;
         let bank = &mut self.banks[bank_idx];
         let start = now.max(bank.busy_until);
         let access = match bank.open_row {
@@ -291,6 +363,7 @@ impl Dram {
         self.bus_free_at = done;
         bank.busy_until = data_ready;
         t.done_at = Some(done);
+        self.earliest_done = self.earliest_done.min(done);
         self.in_flight.push(t);
     }
 
@@ -352,7 +425,7 @@ impl tlp_events::Component for Dram {
     }
 
     fn tick(&mut self, now: Cycle, done: &mut Vec<Request>) -> Option<Cycle> {
-        done.extend(Dram::tick(self, now));
+        Dram::tick_into(self, now, done);
         self.next_event(now)
     }
 }
@@ -386,7 +459,7 @@ mod tests {
     #[test]
     fn read_completes_with_closed_row_timing() {
         let mut d = dram();
-        assert!(d.push_read(read_req(1, 0x1000)));
+        assert!(d.push_read(read_req(1, 0x1000)).is_ok());
         let (done, when) = run_until_done(&mut d, 0, 10_000);
         assert_eq!(done.len(), 1);
         // tRCD + tCAS + burst = 24 + 24 + 19 = 67.
@@ -398,18 +471,18 @@ mod tests {
     fn row_hit_is_faster_than_conflict() {
         let mut d = dram();
         // Same bank (lines 8 apart with 8 banks), same row.
-        d.push_read(read_req(1, 0x0));
-        d.push_read(read_req(2, 8 * 64));
+        d.push_read(read_req(1, 0x0)).unwrap();
+        d.push_read(read_req(2, 8 * 64)).unwrap();
         let (done, when_hits) = run_until_done(&mut d, 0, 10_000);
         assert_eq!(done.len(), 2);
         assert!(d.stats.row_hits >= 1);
 
         // Same bank, different row → conflict.
         let mut d2 = dram();
-        d2.push_read(read_req(1, 0x0));
+        d2.push_read(read_req(1, 0x0)).unwrap();
         let banks = 8u64;
         let row_bytes = 8192u64;
-        d2.push_read(read_req(2, row_bytes * banks)); // same bank 0, next row
+        d2.push_read(read_req(2, row_bytes * banks)).unwrap(); // same bank 0, next row
         let (done2, when_conflict) = run_until_done(&mut d2, 0, 10_000);
         assert_eq!(done2.len(), 2);
         assert!(d2.stats.row_conflicts >= 1);
@@ -421,7 +494,7 @@ mod tests {
         let mut d = dram();
         // Four different banks: bank latencies overlap, bus serializes.
         for i in 0..4u64 {
-            d.push_read(read_req(i, i * 64));
+            d.push_read(read_req(i, i * 64)).unwrap();
         }
         let (done, when) = run_until_done(&mut d, 0, 10_000);
         assert_eq!(done.len(), 4);
@@ -432,8 +505,8 @@ mod tests {
     #[test]
     fn same_line_reads_merge() {
         let mut d = dram();
-        d.push_read(read_req(1, 0x2000));
-        d.push_read(read_req(2, 0x2008));
+        d.push_read(read_req(1, 0x2000)).unwrap();
+        d.push_read(read_req(2, 0x2008)).unwrap();
         assert_eq!(d.stats.reads, 1, "merged read must not double-count");
         let (done, _) = run_until_done(&mut d, 0, 10_000);
         assert_eq!(done.len(), 2);
@@ -444,9 +517,9 @@ mod tests {
         let mut d = dram();
         let cap = SystemConfig::cascade_lake(1).dram.read_queue;
         for i in 0..cap as u64 {
-            assert!(d.push_read(read_req(i, 0x10_0000 + i * 64)));
+            assert!(d.push_read(read_req(i, 0x10_0000 + i * 64)).is_ok());
         }
-        assert!(!d.push_read(read_req(999, 0x90_0000)));
+        assert!(d.push_read(read_req(999, 0x90_0000)).is_err());
         assert_eq!(d.stats.read_queue_full, 1);
     }
 
@@ -454,7 +527,7 @@ mod tests {
     fn speculative_fill_lands_in_ddrp_and_is_claimed() {
         let mut d = dram();
         let spec = Request::speculative(1, 0, 0x400, 0x3000, 0x3000, 0);
-        d.push_speculative(spec);
+        d.push_speculative(spec).unwrap();
         assert_eq!(d.stats.spec_reads, 1);
         let (done, _) = run_until_done(&mut d, 0, 200);
         assert!(done.is_empty(), "spec fills park in the DDRP buffer");
@@ -466,10 +539,11 @@ mod tests {
     #[test]
     fn demand_merges_into_inflight_spec() {
         let mut d = dram();
-        d.push_speculative(Request::speculative(1, 0, 0x400, 0x3000, 0x3000, 0));
+        d.push_speculative(Request::speculative(1, 0, 0x400, 0x3000, 0x3000, 0))
+            .unwrap();
         // Demand arrives while the spec is still pending.
         d.tick(0);
-        d.push_read(read_req(2, 0x3000));
+        d.push_read(read_req(2, 0x3000)).unwrap();
         assert_eq!(d.stats.reads, 0, "demand reuses the spec transaction");
         assert_eq!(d.stats.spec_consumed, 1);
         let (done, _) = run_until_done(&mut d, 1, 10_000);
@@ -480,8 +554,10 @@ mod tests {
     #[test]
     fn spec_dedups_against_existing_traffic() {
         let mut d = dram();
-        d.push_read(read_req(1, 0x4000));
-        d.push_speculative(Request::speculative(2, 0, 0, 0x4000, 0x4000, 0));
+        d.push_read(read_req(1, 0x4000)).unwrap();
+        assert!(d
+            .push_speculative(Request::speculative(2, 0, 0, 0x4000, 0x4000, 0))
+            .is_err());
         assert_eq!(d.stats.spec_reads, 0, "redundant spec must be dropped");
     }
 
@@ -501,7 +577,7 @@ mod tests {
         for i in 0..(cap * 3 / 4 + 1) as u64 {
             d.push_write(0x10_0000 + i * 64, 0);
         }
-        d.push_read(read_req(1, 0x9000));
+        d.push_read(read_req(1, 0x9000)).unwrap();
         // With draining active, the first scheduled transaction is a write.
         d.tick(0);
         assert!(
@@ -513,9 +589,43 @@ mod tests {
     #[test]
     fn ddrp_residue_counts_wasted() {
         let mut d = dram();
-        d.push_speculative(Request::speculative(1, 0, 0, 0x7000, 0x7000, 0));
+        d.push_speculative(Request::speculative(1, 0, 0, 0x7000, 0x7000, 0))
+            .unwrap();
         let _ = run_until_done(&mut d, 0, 200);
         d.drain_ddrp_residue();
         assert_eq!(d.stats.spec_wasted, 1);
+    }
+
+    /// The move-based rejection contract: a `push_read` refused because
+    /// the queue is full hands back the *same* request, every field
+    /// intact, so the engine's retry queue can resubmit it verbatim.
+    #[test]
+    fn rejected_push_read_returns_request_intact() {
+        let mut d = dram();
+        let cap = SystemConfig::cascade_lake(1).dram.read_queue;
+        // Distinct lines so nothing merges; never tick, so nothing drains.
+        for i in 0..cap as u64 {
+            d.push_read(read_req(i, 0x10_0000 + i * 64)).unwrap();
+        }
+        let mut req = read_req(999, 0x90_0000);
+        req.pc = 0x1234;
+        req.vaddr = 0xdead_beef;
+        let tag = req.offchip;
+        let err = d.push_read(req).expect_err("queue is full");
+        assert_eq!(err.id, 999);
+        assert_eq!(err.pc, 0x1234);
+        assert_eq!(err.vaddr, 0xdead_beef);
+        assert_eq!(err.paddr, 0x90_0000);
+        assert_eq!(err.lq_seq, Some(999));
+        assert_eq!(err.kind, ReqKind::Load);
+        assert_eq!(err.offchip.decision, tag.decision);
+        assert!(err.served_from.is_none());
+        assert_eq!(d.stats.read_queue_full, 1);
+        // A rejected speculative push is handed back too.
+        let spec = Request::speculative(1000, 0, 0x40, 0x8000, 0x8000, 5);
+        let err = d.push_speculative(spec).expect_err("queue still full");
+        assert_eq!(err.id, 1000);
+        assert_eq!(err.born, 5);
+        assert_eq!(d.stats.spec_dropped, 1);
     }
 }

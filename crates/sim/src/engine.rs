@@ -5,13 +5,21 @@
 //!
 //! * [`EngineMode::Cycle`] — the reference implementation: every
 //!   component ticks every base cycle.
-//! * [`EngineMode::Event`] — discrete-event scheduling on
-//!   [`tlp_events`]: each component (DRAM, the LLC, each core's L2/L1D,
-//!   each core front-end, the speculative-request and DRAM-retry queues)
-//!   reports a conservative wake-up time, the earliest of which is popped
-//!   from an [`EventQueue`] and the clock jumps straight there. Cycles
-//!   where every component is provably idle — the common case when the
-//!   whole system stalls behind a DRAM access — are never executed.
+//! * [`EngineMode::Event`] — discrete-event scheduling on the
+//!   [`tlp_events`] component contract: each component (DRAM, the LLC,
+//!   each core's L2/L1D, each core front-end, the speculative-request
+//!   and DRAM-retry queues) reports a conservative wake-up time, the
+//!   engine takes the minimum, and the clock jumps straight there.
+//!   Cycles where every component is provably idle — the common case
+//!   when the whole system stalls behind a DRAM access — are never
+//!   executed. Same-cycle wake-ups coalesce into one full tick, so only
+//!   the minimum matters and no event queue is materialized.
+//!
+//! The per-tick path is allocation-free in steady state: the engine owns
+//! reusable scratch buffers ([`TickScratch`]) that are cleared — never
+//! freed — each cycle, DRAM hands rejected requests back by value
+//! instead of being handed clones, and cache/DRAM waiter vectors recycle
+//! through per-component freelists.
 //!
 //! Both modes run the identical per-cycle logic in the identical
 //! intra-cycle order (DRAM → retries → speculative queue → LLC → L2 →
@@ -22,12 +30,12 @@
 
 use std::collections::VecDeque;
 
-use tlp_events::{Component, ComponentId, EventQueue};
+use tlp_events::Component;
 use tlp_trace::TraceSource;
 
 use crate::cache::{Cache, PrefetchEviction, TickOutput};
 use crate::config::SystemConfig;
-use crate::core::{Core, DispatchHooks};
+use crate::core::{Core, DispatchHooks, LoadIssue};
 use crate::dram::Dram;
 use crate::hooks::{
     DemandAccess, L1FilterCtx, L1PrefetchFilter, L1Prefetcher, L2Access, L2PrefetchCandidate,
@@ -83,28 +91,6 @@ impl std::str::FromStr for EngineMode {
             )),
         }
     }
-}
-
-/// Scheduled-component identities for the event queue. Ids follow the
-/// canonical intra-cycle order, so same-cycle pops (which the engine
-/// coalesces into one full tick anyway) stay in a stable, meaningful
-/// order.
-const COMP_DRAM: ComponentId = ComponentId(0);
-const COMP_SPEC: ComponentId = ComponentId(1);
-const COMP_LLC: ComponentId = ComponentId(2);
-const COMPS_FIXED: u32 = 3;
-const COMPS_PER_CORE: u32 = 3;
-
-fn comp_l2(core: usize) -> ComponentId {
-    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32)
-}
-
-fn comp_l1d(core: usize) -> ComponentId {
-    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32 + 1)
-}
-
-fn comp_core(core: usize) -> ComponentId {
-    ComponentId(COMPS_FIXED + COMPS_PER_CORE * core as u32 + 2)
 }
 
 /// Everything one core needs: its trace plus the plugin predictors.
@@ -231,6 +217,98 @@ impl DispatchHooks for PredictHook<'_> {
     }
 }
 
+/// Speculative requests waiting out their predictor latency, split by
+/// origin so draining pops fronts and the event pre-pass is O(1).
+///
+/// The predecessor was one `VecDeque` mixing two constant latencies
+/// (delayed-path specs become ready at `now + 1`, issue-now specs after
+/// the predictor latency), so every drain scanned the whole queue and
+/// `remove(i)` shifted the tail. Within each origin the ready times are
+/// monotone (a constant added to a monotone `now`), so two FIFOs tagged
+/// with a shared push sequence reproduce the old drain order exactly —
+/// the scan drained ready entries in insertion order, and the minimum-
+/// sequence ready entry is always at one of the two fronts.
+#[derive(Default)]
+struct SpecQueue {
+    /// Issue-now specs (ready after the predictor latency).
+    issued: VecDeque<(Cycle, u64, Request)>,
+    /// Delayed-path specs (ready at `now + 1`).
+    delayed: VecDeque<(Cycle, u64, Request)>,
+    /// Global insertion counter merging the two FIFOs.
+    seq: u64,
+}
+
+impl SpecQueue {
+    fn push_issued(&mut self, ready: Cycle, req: Request) {
+        debug_assert!(self.issued.back().is_none_or(|&(t, ..)| t <= ready));
+        self.seq += 1;
+        self.issued.push_back((ready, self.seq, req));
+    }
+
+    fn push_delayed(&mut self, ready: Cycle, req: Request) {
+        debug_assert!(self.delayed.back().is_none_or(|&(t, ..)| t <= ready));
+        self.seq += 1;
+        self.delayed.push_back((ready, self.seq, req));
+    }
+
+    /// Pops the ready request the old single-queue scan would have
+    /// drained next: earliest insertion among entries with `ready <= now`.
+    fn pop_ready(&mut self, now: Cycle) -> Option<Request> {
+        let i = self.issued.front().filter(|&&(t, ..)| t <= now);
+        let d = self.delayed.front().filter(|&&(t, ..)| t <= now);
+        let q = match (i, d) {
+            (Some(&(_, a, _)), Some(&(_, b, _))) => {
+                if a < b {
+                    &mut self.issued
+                } else {
+                    &mut self.delayed
+                }
+            }
+            (Some(_), None) => &mut self.issued,
+            (None, Some(_)) => &mut self.delayed,
+            (None, None) => return None,
+        };
+        q.pop_front().map(|(_, _, r)| r)
+    }
+
+    /// Earliest ready time across both queues — O(1), this is what the
+    /// event engine's wake-up pre-pass and scheduling pass consult.
+    fn next_ready(&self) -> Option<Cycle> {
+        let i = self.issued.front().map(|&(t, ..)| t);
+        let d = self.delayed.front().map(|&(t, ..)| t);
+        match (i, d) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, d) => d,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.issued.len() + self.delayed.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.issued.is_empty() && self.delayed.is_empty()
+    }
+}
+
+/// Engine-owned reusable buffers for the per-tick hot path. Each is
+/// `std::mem::take`n for the duration of one use (so `&mut self` methods
+/// can run while it is out), then cleared and put back — the capacity
+/// survives across cycles, so a warmed-up steady-state tick performs
+/// zero heap allocations.
+#[derive(Default)]
+struct TickScratch {
+    /// DRAM completions being routed up the hierarchy.
+    dram_done: Vec<Request>,
+    /// Component tick output shared by the LLC and every L2/L1D tick.
+    tick_out: TickOutput,
+    /// Waiter-core dedup buffer for [`System::deliver_fill_waiters`].
+    seen_cores: Vec<CoreId>,
+    /// Loads issued by a core's scheduler this cycle.
+    loads: Vec<LoadIssue>,
+}
+
 /// The full simulated system.
 pub struct System {
     cfg: SystemConfig,
@@ -243,7 +321,7 @@ pub struct System {
     cycle: Cycle,
     next_id: u64,
     /// Speculative requests waiting out the predictor latency.
-    spec_pending: VecDeque<(Cycle, Request)>,
+    spec_pending: SpecQueue,
     /// DRAM-rejected reads to retry.
     dram_retry: VecDeque<Request>,
     /// DRAM-rejected writebacks to retry.
@@ -251,10 +329,8 @@ pub struct System {
     last_retire: Cycle,
     measuring: bool,
     mode: EngineMode,
-    /// Wake-up queue for [`EngineMode::Event`] (rebuilt per executed
-    /// tick: a handful of components, so rescheduling is cheap and keeps
-    /// the queue trivially consistent with the system state).
-    events: EventQueue,
+    /// Reusable per-tick buffers (cleared every cycle, never freed).
+    scratch: TickScratch,
     /// Ticks actually executed (== elapsed cycles in cycle mode; the gap
     /// to `cycle` is the event engine's skipped-idle-cycle win).
     ticks_executed: u64,
@@ -322,13 +398,13 @@ impl System {
             cfg,
             cycle: 0,
             next_id: 0,
-            spec_pending: VecDeque::new(),
+            spec_pending: SpecQueue::default(),
             dram_retry: VecDeque::new(),
             wb_retry: VecDeque::new(),
             last_retire: 0,
             measuring: false,
             mode: EngineMode::default(),
-            events: EventQueue::default(),
+            scratch: TickScratch::default(),
             ticks_executed: 0,
             obs: crate::obs::EngineObs::new(),
         }
@@ -509,11 +585,10 @@ impl System {
         // counts show which components were still being driven, and with
         // the `obs` feature the full `sim_*` registry rides along.
         let mut metrics = format!(
-            "  ticks executed {} of {} cycles ({} skipped), event queue depth {}",
+            "  ticks executed {} of {} cycles ({} skipped)",
             self.ticks_executed,
             self.cycle,
             self.cycle - self.ticks_executed,
-            self.events.len(),
         );
         let rendered = crate::obs::EngineObs::render_snapshot();
         if !rendered.is_empty() {
@@ -613,69 +688,86 @@ impl System {
         self.tick();
     }
 
-    /// The earliest cycle at which any component may change state,
-    /// computed by scheduling every component's conservative wake-up into
-    /// the event queue and popping the minimum. Components are consulted
+    /// The earliest cycle at which any component may change state: every
+    /// component reports a conservative wake-up and the engine folds the
+    /// minimum directly. (An earlier version scheduled each wake-up into
+    /// an event queue and popped it — but same-cycle wake-ups coalesce
+    /// into one full tick anyway, so the popped minimum was the only
+    /// thing ever consumed; the running min is exactly equivalent and
+    /// skips the per-tick queue rebuild.) Components are consulted
     /// cheapest-first, and any wake-up due at the very next cycle returns
     /// immediately — during busy phases the expensive per-core scans
-    /// never run, so event mode degrades gracefully toward cycle mode's
-    /// cost instead of paying the full scheduling overhead every tick.
-    /// Falls back to the next cycle when nothing at all is scheduled but
-    /// the run is not over (a simulator bug: single-stepping lets the
-    /// watchdog produce its diagnosis).
+    /// never run, so event mode falls through to plain stepping instead
+    /// of paying scheduling overhead every tick. Falls back to the next
+    /// cycle when nothing at all is scheduled but the run is not over (a
+    /// simulator bug: single-stepping lets the watchdog produce its
+    /// diagnosis).
     fn next_wake(&mut self) -> Cycle {
         let now = self.cycle;
         let soonest = now + 1;
         if self.work_due_next_cycle(now) {
             return soonest;
         }
-        self.events.rebase(soonest);
+        let mut wake = Cycle::MAX;
+        let mut scheduled = 0usize;
         if let Some(t) = self.dram.next_event(now) {
             if t <= soonest {
                 return soonest;
             }
-            self.events.schedule(t, COMP_DRAM);
+            wake = wake.min(t);
+            scheduled += 1;
         }
-        if let Some(t) = self.spec_pending.iter().map(|&(t, _)| t).min() {
+        if let Some(t) = self.spec_pending.next_ready() {
             if t <= soonest {
                 return soonest;
             }
-            self.events.schedule(t, COMP_SPEC);
+            wake = wake.min(t);
+            scheduled += 1;
         }
         if let Some(t) = self.llc.next_ready() {
             if t <= soonest {
                 return soonest;
             }
-            self.events.schedule(t, COMP_LLC);
+            wake = wake.min(t);
+            scheduled += 1;
         }
-        for (i, c) in self.cores.iter().enumerate() {
+        for c in &self.cores {
             if let Some(t) = c.l2.next_ready() {
                 if t <= soonest {
                     return soonest;
                 }
-                self.events.schedule(t, comp_l2(i));
+                wake = wake.min(t);
+                scheduled += 1;
             }
             if let Some(t) = c.l1d.next_ready() {
                 if t <= soonest {
                     return soonest;
                 }
-                self.events.schedule(t, comp_l1d(i));
+                wake = wake.min(t);
+                scheduled += 1;
             }
         }
         // The core front-ends last: their wake-up needs an ROB walk.
         {
             let _t = self.obs.rob_walk_span();
-            for (i, c) in self.cores.iter().enumerate() {
+            for c in &self.cores {
                 if let Some(t) = c.core.next_wake(now, c.trace_exhausted) {
                     if t <= soonest {
                         return soonest;
                     }
-                    self.events.schedule(t, comp_core(i));
+                    wake = wake.min(t);
+                    scheduled += 1;
                 }
             }
         }
-        self.obs.event_queue_depth(self.events.len());
-        self.events.pop().map_or(soonest, |(t, _)| t)
+        // The gauge keeps its historical meaning: how many components had
+        // a scheduled wake-up when the full pass ran.
+        self.obs.event_queue_depth(scheduled);
+        if wake == Cycle::MAX {
+            soonest
+        } else {
+            wake
+        }
     }
 
     /// O(1) pre-pass of [`System::next_wake`]: true when some component
@@ -703,7 +795,7 @@ impl System {
             }
         }
         self.llc.next_ready().is_some_and(|t| t <= soonest)
-            || self.spec_pending.iter().any(|&(t, _)| t <= soonest)
+            || self.spec_pending.next_ready().is_some_and(|t| t <= soonest)
     }
 
     /// Advances the system by one cycle.
@@ -711,25 +803,24 @@ impl System {
         self.cycle += 1;
         self.ticks_executed += 1;
         let now = self.cycle;
-        // 1. DRAM completions climb back up the hierarchy.
-        let mut done = Vec::new();
-        let _ = Component::tick(&mut self.dram, now, &mut done);
-        for req in done {
-            self.deliver_from_dram(&req, now);
+        // 1. DRAM completions climb back up the hierarchy. The scratch
+        // buffer is engine-owned: cleared after use, never freed, so the
+        // steady-state tick performs no allocation here.
+        let mut done = std::mem::take(&mut self.scratch.dram_done);
+        self.dram.tick_into(now, &mut done);
+        for req in &done {
+            self.deliver_from_dram(req, now);
         }
+        done.clear();
+        self.scratch.dram_done = done;
         // 2. Retry DRAM-rejected traffic.
         self.drain_retries(now);
-        // 3. Speculative requests whose predictor latency elapsed (the
-        // queue is not strictly ordered: delayed-path specs use a shorter
-        // latency than issue-now specs).
-        let mut i = 0;
-        while i < self.spec_pending.len() {
-            if self.spec_pending[i].0 <= now {
-                let (_, req) = self.spec_pending.remove(i).expect("index valid");
-                self.dram.push_speculative(req);
-            } else {
-                i += 1;
-            }
+        // 3. Speculative requests whose predictor latency elapsed. The
+        // queue keeps the two latency classes in separate FIFOs; popping
+        // the minimum-sequence ready entry reproduces the old single
+        // queue's in-place scan order exactly.
+        while let Some(req) = self.spec_pending.pop_ready(now) {
+            let _ = self.dram.push_speculative(req);
         }
         // 4. The cache hierarchy: LLC, then per-core L2 and L1D.
         {
@@ -757,7 +848,9 @@ impl System {
             let Some(req) = self.dram_retry.pop_front() else {
                 break;
             };
-            if !self.dram.push_read(req.clone()) {
+            // `push_read` hands the request back on rejection, so the
+            // retry loop moves it in and out without ever cloning.
+            if let Err(req) = self.dram.push_read(req) {
                 self.dram_retry.push_front(req);
                 break;
             }
@@ -773,16 +866,34 @@ impl System {
         }
     }
 
+    /// Wakes each distinct core with a waiter on an LLC fill, preserving
+    /// first-waiter order. The dedup scratch lives on the engine so the
+    /// per-fill `seen` list costs no allocation; the waiters themselves
+    /// are borrowed, and the caller recycles their Vec afterwards.
+    fn deliver_fill_waiters(&mut self, waiters: &[Request], line: u64, served: Level, now: Cycle) {
+        let mut seen = std::mem::take(&mut self.scratch.seen_cores);
+        for w in waiters {
+            if !seen.contains(&w.core) {
+                seen.push(w.core);
+            }
+        }
+        for &c in &seen {
+            self.deliver_to_core(c, line, served, now);
+        }
+        seen.clear();
+        self.scratch.seen_cores = seen;
+    }
+
     fn tick_llc(&mut self, now: Cycle) {
-        let mut out = TickOutput::default();
+        let mut out = std::mem::take(&mut self.scratch.tick_out);
         let _ = Component::tick(&mut self.llc, now, &mut out);
-        for ev in out.pf_useful {
+        for ev in out.pf_useful.drain(..) {
             self.attribute_prefetch_outcome(&ev);
         }
-        for req in out.hits {
+        for req in out.hits.drain(..) {
             self.deliver_to_core(req.core, req.line(), Level::Llc, now);
         }
-        for req in out.forwards {
+        for req in out.forwards.drain(..) {
             // The victim cache (when configured) intercepts LLC misses:
             // a hit swaps the line back in without touching DRAM.
             if self
@@ -799,19 +910,13 @@ impl System {
                     req.core,
                     now,
                 );
-                let mut seen: Vec<CoreId> = Vec::new();
-                for w in &fill.waiters {
-                    if !seen.contains(&w.core) {
-                        seen.push(w.core);
-                    }
-                }
-                for c in seen {
-                    self.deliver_to_core(c, line, Level::Llc, now);
-                }
+                self.deliver_fill_waiters(&fill.waiters, line, Level::Llc, now);
+                self.llc.recycle_waiters(fill.waiters);
                 continue;
             }
             self.forward_to_dram(req, now);
         }
+        self.scratch.tick_out = out;
     }
 
     fn forward_to_dram(&mut self, req: Request, now: Cycle) {
@@ -827,18 +932,11 @@ impl System {
                 req.core,
                 now,
             );
-            let mut seen: Vec<CoreId> = Vec::new();
-            for w in &fill.waiters {
-                if !seen.contains(&w.core) {
-                    seen.push(w.core);
-                }
-            }
-            for c in seen {
-                self.deliver_to_core(c, line, Level::Dram, now);
-            }
+            self.deliver_fill_waiters(&fill.waiters, line, Level::Dram, now);
+            self.llc.recycle_waiters(fill.waiters);
             return;
         }
-        if !self.dram.push_read(req.clone()) {
+        if let Err(req) = self.dram.push_read(req) {
             self.dram_retry.push_back(req);
         }
     }
@@ -853,15 +951,8 @@ impl System {
             req.core,
             now,
         );
-        let mut seen: Vec<CoreId> = Vec::new();
-        for w in &fill.waiters {
-            if !seen.contains(&w.core) {
-                seen.push(w.core);
-            }
-        }
-        for c in seen {
-            self.deliver_to_core(c, line, Level::Dram, now);
-        }
+        self.deliver_fill_waiters(&fill.waiters, line, Level::Dram, now);
+        self.llc.recycle_waiters(fill.waiters);
     }
 
     fn handle_llc_fill(
@@ -898,6 +989,7 @@ impl System {
             self.attribute_prefetch_outcome(&ev);
         }
         if fill.waiters.is_empty() {
+            self.cores[c].l2.recycle_waiters(fill.waiters);
             return;
         }
         let any_demand = fill.waiters.iter().any(|w| w.kind.is_demand());
@@ -910,6 +1002,7 @@ impl System {
                 _ => needs_l1 = true,
             }
         }
+        self.cores[c].l2.recycle_waiters(fill.waiters);
         if needs_l1 {
             self.deliver_to_l1(c, line, served, now);
         }
@@ -926,19 +1019,20 @@ impl System {
             self.attribute_prefetch_outcome(&ev);
         }
         let any_demand = fill.waiters.iter().any(|w| w.kind.is_demand());
-        for w in fill.waiters {
+        for w in &fill.waiters {
             self.finalize_l1_waiter(c, w, any_demand, now);
         }
+        self.cores[c].l1d.recycle_waiters(fill.waiters);
     }
 
-    fn finalize_l1_waiter(&mut self, c: CoreId, w: Request, any_demand: bool, now: Cycle) {
+    fn finalize_l1_waiter(&mut self, c: CoreId, w: &Request, any_demand: bool, now: Cycle) {
         let served = w.served_from.unwrap_or(Level::Dram);
         // Every L1 fill is visible to the prefetcher (Berti measures
         // demand-miss latency from these notifications).
         self.cores[c].l1_pf.on_fill(w.vaddr, now);
         match w.kind {
             ReqKind::Load => {
-                self.complete_load(c, &w, served, now);
+                self.complete_load(c, w, served, now);
             }
             ReqKind::Rfo => {} // dirty bit handled by the fill
             ReqKind::PrefetchL1 { .. } => {
@@ -1065,22 +1159,22 @@ impl System {
     }
 
     fn tick_l2(&mut self, i: usize, now: Cycle) {
-        let mut out = TickOutput::default();
+        let mut out = std::mem::take(&mut self.scratch.tick_out);
         let _ = Component::tick(&mut self.cores[i].l2, now, &mut out);
-        for paddr in out.demand_misses {
+        for paddr in out.demand_misses.drain(..) {
             self.cores[i].l2_filter.on_demand_miss(paddr);
         }
-        for ev in out.pf_useful {
+        for ev in out.pf_useful.drain(..) {
             self.attribute_prefetch_outcome(&ev);
         }
-        for req in out.hits {
+        for req in out.hits.drain(..) {
             self.deliver_to_l1(req.core, req.line(), Level::L2, now);
         }
-        for req in out.forwards {
+        for req in out.forwards.drain(..) {
             self.llc.push_demand(req, now);
         }
         // SPP observes demand accesses and produces candidates; PPF filters.
-        for (req, hit) in out.demand_accesses {
+        for (req, hit) in out.demand_accesses.drain(..) {
             let acc = L2Access {
                 core: i,
                 pc: req.pc,
@@ -1097,6 +1191,7 @@ impl System {
             }
             self.cores[i].l2_pf_scratch = cands;
         }
+        self.scratch.tick_out = out;
     }
 
     fn issue_l2_prefetch(
@@ -1142,12 +1237,12 @@ impl System {
     }
 
     fn tick_l1d(&mut self, i: usize, now: Cycle) {
-        let mut out = TickOutput::default();
+        let mut out = std::mem::take(&mut self.scratch.tick_out);
         let _ = Component::tick(&mut self.cores[i].l1d, now, &mut out);
-        for ev in out.pf_useful {
+        for ev in out.pf_useful.drain(..) {
             self.attribute_prefetch_outcome(&ev);
         }
-        for req in out.hits {
+        for req in out.hits.drain(..) {
             match req.kind {
                 ReqKind::Load => self.complete_load(i, &req, Level::L1d, now),
                 ReqKind::PrefetchL1 { .. } => {
@@ -1157,7 +1252,7 @@ impl System {
                 _ => {}
             }
         }
-        for req in out.forwards {
+        for req in out.forwards.drain(..) {
             // Selective delay: the tagged load missed in L1D, so issue the
             // speculative DRAM request now.
             if req.kind == ReqKind::Load && req.offchip.decision == OffChipDecision::IssueOnL1dMiss
@@ -1170,12 +1265,12 @@ impl System {
                 }
                 let id = self.fresh_id();
                 let spec = Request::speculative(id, i, req.pc, req.vaddr, req.paddr, now);
-                self.spec_pending.push_back((now + 1, spec));
+                self.spec_pending.push_delayed(now + 1, spec);
             }
             self.cores[i].l2.push_demand(req, now);
         }
         // L1 prefetcher hooks.
-        for (req, hit) in out.demand_accesses {
+        for (req, hit) in out.demand_accesses.drain(..) {
             let acc = DemandAccess {
                 core: i,
                 pc: req.pc,
@@ -1193,6 +1288,7 @@ impl System {
             }
             self.cores[i].pf_scratch = cands;
         }
+        self.scratch.tick_out = out;
     }
 
     fn issue_l1_prefetch(
@@ -1283,8 +1379,9 @@ impl System {
         // at address generation, in parallel with the L1D lookup, exactly
         // like Hermes (the address of a dependent load is not known at
         // dispatch).
-        let loads = self.cores[i].core.schedule(now);
-        for l in loads {
+        let mut loads = std::mem::take(&mut self.scratch.loads);
+        self.cores[i].core.schedule_into(now, &mut loads);
+        for &l in &loads {
             let id = self.fresh_id();
             let cs = &mut self.cores[i];
             let t = cs.mmu.translate(&mut self.pt, i, l.vaddr);
@@ -1302,9 +1399,11 @@ impl System {
                 let id = self.fresh_id();
                 let spec = Request::speculative(id, i, l.pc, l.vaddr, t.paddr, now);
                 self.spec_pending
-                    .push_back((now + self.cfg.core.offchip_predictor_latency, spec));
+                    .push_issued(now + self.cfg.core.offchip_predictor_latency, spec);
             }
         }
+        loads.clear();
+        self.scratch.loads = loads;
         // Drain one store per cycle through the L1D write port.
         if let Some(st) = self.cores[i].core.pop_store() {
             let id = self.fresh_id();

@@ -68,6 +68,12 @@ impl ReqKind {
 
 /// A memory request. One instance travels down the hierarchy, is parked in
 /// MSHRs, and is routed back up when data arrives.
+///
+/// Every field is stored inline — no heap indirection — so moving or
+/// cloning a request is a fixed-size copy and queue/MSHR/freelist churn
+/// through the hot loop never touches the allocator. The size pin below
+/// keeps the struct from silently growing a pointer-sized field (or a
+/// `Box`/`Vec`) that would turn every queue push into an allocation.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Unique id.
@@ -99,6 +105,11 @@ pub struct Request {
     /// Level that served the data (set on completion).
     pub served_from: Option<Level>,
 }
+
+/// Hot-loop size budget: a request must stay a plain fixed-size copy.
+/// 192 bytes covers the current layout with headroom for one more tag;
+/// growing past it deserves a deliberate decision, not an accident.
+const _REQUEST_STAYS_INLINE: () = assert!(std::mem::size_of::<Request>() <= 192);
 
 impl Request {
     /// Physical cache-line address.

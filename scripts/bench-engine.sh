@@ -9,6 +9,12 @@
 # overwritten.
 #
 # Usage: scripts/bench-engine.sh [output.json]
+#        scripts/bench-engine.sh --sanity
+#
+# Arguments are passed through to the race example verbatim, so
+# `--sanity` runs the CI perf gate (bfs.urand only, exits nonzero when
+# the event engine falls below TLP_BENCH_MIN_RATIO of cycle mode, writes
+# no JSON) instead of the recording run.
 #
 # The race refuses to record a timing unless both engines produced
 # field-identical reports, so the JSON can never advertise a speedup
@@ -20,4 +26,7 @@ cd "$(dirname "$0")/.."
 # back to Unix seconds when unset.
 export TLP_BENCH_STAMP="${TLP_BENCH_STAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
-cargo run --release --example engine_race -- "${1:-BENCH_engine.json}"
+if [ "$#" -eq 0 ]; then
+  set -- BENCH_engine.json
+fi
+cargo run --release --example engine_race -- "$@"
