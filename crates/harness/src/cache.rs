@@ -37,7 +37,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use tlp_obs::{Counter, Histogram, MetricsRegistry};
-use tlp_sim::{serial, SimReport};
+use tlp_sim::{serial, SimReport, Timeline};
 
 /// Salt folded into every [`RunKey`]. Bump this whenever a change to the
 /// simulator or workload generation alters results, so stale on-disk cache
@@ -254,6 +254,50 @@ impl DiskCache {
             && self.stores.fetch_add(1, Ordering::Relaxed) % SWEEP_EVERY == SWEEP_EVERY - 1
         {
             self.sweep();
+        }
+    }
+
+    /// Path of a timeline blob. Timeline artifacts live *next to* report
+    /// entries under a distinct `<key>.timeline.json` name: they must
+    /// never be probed by [`DiskCache::load_classified`], whose
+    /// corruption check (and delete-on-sight) validates the report
+    /// format. The `.json` suffix keeps them visible to the size-cap
+    /// sweep, so a capped cache bounds blobs too.
+    fn timeline_path_for(&self, key: RunKey) -> PathBuf {
+        self.dir.join(format!("{}.timeline.json", key.hex()))
+    }
+
+    /// Loads one timeline blob; a corrupt blob is deleted and reads as a
+    /// miss (it will simply be re-captured).
+    #[must_use]
+    pub fn load_timeline(&self, key: RunKey) -> Option<Timeline> {
+        let path = self.timeline_path_for(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match serial::timeline_from_json(&text) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores one timeline blob (same atomic temp-file + rename protocol
+    /// as [`DiskCache::store`]).
+    pub fn store_timeline(&self, key: RunKey, timeline: &Timeline) {
+        let tmp = self.dir.join(format!(
+            "{}.timeline.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serial::timeline_to_json(timeline).as_bytes())?;
+            std::fs::rename(&tmp, self.timeline_path_for(key))
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 
@@ -510,6 +554,7 @@ const MAX_CELL_LOG: usize = 16_384;
 /// and the serve daemon's `STATS` frame.
 pub struct ResultCache {
     mem: RwLock<HashMap<RunKey, Arc<SimReport>>>,
+    mem_timelines: RwLock<HashMap<RunKey, Arc<Timeline>>>,
     disk: Option<DiskCache>,
     inflight: Mutex<HashMap<RunKey, Arc<FlightSlot>>>,
     registry: Arc<MetricsRegistry>,
@@ -553,6 +598,7 @@ impl ResultCache {
         let registry = Arc::new(MetricsRegistry::new());
         Self {
             mem: RwLock::new(HashMap::new()),
+            mem_timelines: RwLock::new(HashMap::new()),
             disk: None,
             inflight: Mutex::new(HashMap::new()),
             requested: registry.counter("run_cache_requested_total"),
@@ -666,6 +712,33 @@ impl ResultCache {
         }
         let arc = Arc::new(report);
         Arc::clone(self.mem.write().entry(key).or_insert_with(|| arc))
+    }
+
+    /// Looks one timeline blob up: memory first, then disk (promoting a
+    /// disk hit into memory). Timeline captures are deterministic, so
+    /// they are deliberately *not* single-flighted — a racing duplicate
+    /// capture wastes work but can never publish a different blob.
+    #[must_use]
+    pub fn lookup_timeline(&self, key: RunKey) -> Option<Arc<Timeline>> {
+        if let Some(t) = self.mem_timelines.read().get(&key) {
+            return Some(Arc::clone(t));
+        }
+        let timeline = self.disk.as_ref()?.load_timeline(key)?;
+        let arc = Arc::new(timeline);
+        Some(Arc::clone(
+            self.mem_timelines.write().entry(key).or_insert_with(|| arc),
+        ))
+    }
+
+    /// Records a freshly captured timeline blob into both tiers. On a
+    /// racing insert the first entry wins (both are identical by
+    /// determinism) and its `Arc` is returned.
+    pub fn insert_timeline(&self, key: RunKey, timeline: Timeline) -> Arc<Timeline> {
+        if let Some(d) = &self.disk {
+            d.store_timeline(key, &timeline);
+        }
+        let arc = Arc::new(timeline);
+        Arc::clone(self.mem_timelines.write().entry(key).or_insert_with(|| arc))
     }
 
     /// Single-flight resolution of one cell: answer from a cache tier,

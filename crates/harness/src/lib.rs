@@ -27,10 +27,12 @@ pub mod report;
 pub mod runner;
 pub mod scheme;
 pub mod session;
+pub mod timeline;
 
 pub use cache::{EngineStats, RunKey};
 pub use plugins::builtin_registry;
 pub use runner::{Harness, RunCell, RunConfig};
 pub use scheme::{L1Pf, Scheme, TlpParams};
 pub use session::{scheme_result, Session, SessionError};
-pub use tlp_sim::EngineMode;
+pub use timeline::TimelineRun;
+pub use tlp_sim::{EngineMode, TimelineConfig};

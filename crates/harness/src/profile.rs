@@ -27,10 +27,22 @@ use crate::runner::Harness;
 /// Format version of the `--profile` artifact.
 pub const PROFILE_VERSION: u64 = 1;
 
+/// Schema revision of the artifact's *shape*: 2 added the top-level
+/// `schema` field itself and the optional `timeline` summary section
+/// (present when a run exported `--timeline` telemetry).
+pub const PROFILE_SCHEMA: u64 = 2;
+
 /// Builds the profile artifact for a harness's run so far. `engine`
 /// names the configured engine mode (`cycle`/`event`).
 #[must_use]
 pub fn profile_value(harness: &Harness, engine: &str) -> Value {
+    profile_value_with(harness, engine, None)
+}
+
+/// [`profile_value`] with an optional timeline summary (see
+/// [`crate::timeline::summary_value`]) embedded as a `timeline` field.
+#[must_use]
+pub fn profile_value_with(harness: &Harness, engine: &str, timeline: Option<Value>) -> Value {
     let stats = harness.engine_stats();
     let merged = harness
         .metrics()
@@ -51,13 +63,18 @@ pub fn profile_value(harness: &Harness, engine: &str) -> Value {
             ])
         })
         .collect();
-    Value::Obj(vec![
+    let mut fields = vec![
+        ("schema".to_owned(), Value::Num(PROFILE_SCHEMA)),
         ("version".to_owned(), Value::Num(PROFILE_VERSION)),
         ("engine".to_owned(), Value::Str(engine.to_owned())),
         ("run_engine".to_owned(), stats_value(&stats)),
         ("metrics".to_owned(), metrics_value(&merged)),
         ("cells".to_owned(), Value::Arr(cells)),
-    ])
+    ];
+    if let Some(t) = timeline {
+        fields.push(("timeline".to_owned(), t));
+    }
+    Value::Obj(fields)
 }
 
 /// Writes [`profile_value`] as JSON text to `path`.
@@ -140,8 +157,11 @@ mod tests {
         h.run_cells(vec![cell]);
         let v = profile_value(&h, "cycle");
         let parsed = tlp_sim::serial::parse_value(&v.render()).expect("artifact parses");
+        assert_eq!(parsed.u64_field("schema").unwrap(), PROFILE_SCHEMA);
         assert_eq!(parsed.u64_field("version").unwrap(), PROFILE_VERSION);
         assert_eq!(parsed.str_field("engine").unwrap(), "cycle");
+        // No timeline capture ran: the summary section is absent.
+        assert!(parsed.field("timeline").is_err());
         let st = h.engine_stats();
         let re = parsed.field("run_engine").unwrap();
         assert_eq!(re.u64_field("simulated").unwrap(), st.simulated);
@@ -159,5 +179,16 @@ mod tests {
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].str_field("outcome").unwrap(), "simulated");
         assert!(cells[0].u64_field("total_ns").unwrap() > 0);
+    }
+
+    #[test]
+    fn timeline_summary_embeds_under_schema_2() {
+        let h = Harness::new(RunConfig::test());
+        let summary = Value::Obj(vec![("total_windows".to_owned(), Value::Num(3))]);
+        let v = profile_value_with(&h, "event", Some(summary));
+        let parsed = tlp_sim::serial::parse_value(&v.render()).expect("artifact parses");
+        assert_eq!(parsed.u64_field("schema").unwrap(), PROFILE_SCHEMA);
+        let t = parsed.field("timeline").expect("summary embedded");
+        assert_eq!(t.u64_field("total_windows").unwrap(), 3);
     }
 }

@@ -17,7 +17,7 @@ use parking_lot::RwLock;
 
 use tlp_plugin::{BuildCtx, ResolvedScheme};
 use tlp_sim::engine::{CoreSetup, System};
-use tlp_sim::{EngineMode, SimReport, SystemConfig};
+use tlp_sim::{EngineMode, SimReport, SystemConfig, Timeline, TimelineConfig};
 use tlp_trace::catalog::{self, Scale};
 use tlp_trace::emit::Workload;
 use tlp_trace::{TraceRecord, VecTrace};
@@ -515,6 +515,67 @@ impl Harness {
                     .run(self.rc.warmup, self.rc.instructions)
             }
         }
+    }
+
+    /// Captures the simulated-time telemetry of one single-core cell:
+    /// the cell re-simulates with a [`tlp_timeline::Recorder`] attached
+    /// and the resulting [`Timeline`] is content-addressed under its own
+    /// key (the cell's descriptor plus the timeline parameters), cached
+    /// in a blob tier separate from `SimReport`s.
+    ///
+    /// The capture is deterministic — bit-identical across engine modes,
+    /// thread counts, and warm/cold caches — so a racing duplicate can
+    /// only waste work, never publish a different blob; it is therefore
+    /// not single-flighted. The instrumented run's `SimReport` is
+    /// discarded (the plain cell already covers it), so timeline capture
+    /// can never perturb a cached report.
+    pub fn timeline_single(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        tcfg: TimelineConfig,
+    ) -> Arc<Timeline> {
+        self.timeline_single_spec(w, scheme.resolve(), l1pf.resolve(), tcfg)
+    }
+
+    /// [`Harness::timeline_single`] for a resolved (possibly custom)
+    /// scheme — the registry-backed twin, used by the session layer and
+    /// the serve daemon.
+    pub fn timeline_single_spec(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
+        tcfg: TimelineConfig,
+    ) -> Arc<Timeline> {
+        let cell = self.cell_single_spec(w, scheme, l1pf, None);
+        let desc = format!(
+            "{}|timeline|w{}|k{}",
+            cell.label, tcfg.window_cycles, tcfg.journey_every
+        );
+        let key = RunKey::from_desc(&desc);
+        if let Some(t) = self.cache.lookup_timeline(key) {
+            return t;
+        }
+        let timeline = match &cell.kind {
+            CellKind::Single {
+                workload,
+                scheme,
+                l1pf,
+                ..
+            } => {
+                let setup = self.assemble(scheme, l1pf, self.trace_for(workload));
+                let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup])
+                    .with_engine_mode(self.rc.engine);
+                sys.enable_timeline(tcfg);
+                let _ = sys.run(self.rc.warmup, self.rc.instructions);
+                sys.take_timeline()
+                    .expect("timeline was enabled before the run")
+            }
+            _ => unreachable!("cell_single always builds CellKind::Single"),
+        };
+        self.cache.insert_timeline(key, timeline)
     }
 
     /// Runs one cell through the cache: hit in a tier, or simulate and

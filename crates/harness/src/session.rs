@@ -280,6 +280,47 @@ impl Session {
         self.harness.metrics()
     }
 
+    /// Captures simulated-time telemetry for one spec across the named
+    /// workloads (every catalog workload when `workloads` is empty):
+    /// each cell re-simulates with a recorder attached, through the
+    /// harness's timeline blob cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and workload-lookup errors.
+    pub fn timeline_runs(
+        &self,
+        workloads: &[String],
+        spec: &SchemeSpec,
+        l1pf: &str,
+        tcfg: tlp_sim::TimelineConfig,
+    ) -> Result<Vec<crate::timeline::TimelineRun>, SessionError> {
+        let scheme = self.resolve_spec(spec)?;
+        let pf = self.resolve_l1pf_name(l1pf)?;
+        let ws: Vec<Arc<dyn Workload>> = if workloads.is_empty() {
+            self.harness.active_workloads()
+        } else {
+            workloads
+                .iter()
+                .map(|n| self.workload(n))
+                .collect::<Result<_, _>>()?
+        };
+        Ok(ws
+            .iter()
+            .map(|w| crate::timeline::TimelineRun {
+                workload: w.name().to_owned(),
+                scheme: spec.name().to_owned(),
+                l1pf: l1pf.to_owned(),
+                timeline: self.harness.timeline_single_spec(
+                    w,
+                    Arc::clone(&scheme),
+                    Arc::clone(&pf),
+                    tcfg,
+                ),
+            })
+            .collect())
+    }
+
     /// The `--profile` artifact for this session's runs so far (see
     /// [`crate::profile`]). `engine` names the configured engine mode.
     #[must_use]

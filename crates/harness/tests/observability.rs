@@ -40,6 +40,33 @@ fn profile_artifact_matches_the_summary_line() {
     let _ = std::fs::remove_dir_all(&dir);
     let parsed = parse_value(&text).expect("artifact parses with tlp_sim::serial");
 
+    // The artifact declares its shape: schema 2 (top-level `schema`
+    // field + optional timeline summary), and round-trips through the
+    // codec byte-for-byte.
+    assert_eq!(
+        parsed.u64_field("schema").unwrap(),
+        tlp_harness::profile::PROFILE_SCHEMA
+    );
+    assert_eq!(
+        parsed.render(),
+        text,
+        "artifact render round-trips losslessly"
+    );
+    // No timeline was captured in this session: the summary is absent.
+    assert!(parsed.field("timeline").is_err());
+
+    // When a timeline summary is supplied, it embeds under the same
+    // schema and still round-trips.
+    let with_timeline = tlp_harness::profile::profile_value_with(
+        h,
+        "cycle",
+        Some(tlp_harness::timeline::summary_value(&[])),
+    );
+    let reparsed = parse_value(&with_timeline.render()).expect("parses");
+    assert_eq!(reparsed.u64_field("schema").unwrap(), 2);
+    let tl = reparsed.field("timeline").expect("summary embedded");
+    assert_eq!(tl.u64_field("total_windows").unwrap(), 0);
+
     // The run_engine section equals the summary-line counters exactly.
     let stats = session.engine_stats();
     let line = stats.summary_line();

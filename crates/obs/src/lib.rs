@@ -609,6 +609,45 @@ mod tests {
     }
 
     #[test]
+    fn quantile_degenerate_inputs_are_pinned() {
+        // Zero observations: every quantile — including out-of-range and
+        // non-finite q — reads exactly 0. No NaN, no panic.
+        let empty = Histogram::detached().snapshot();
+        for q in [
+            -1.0,
+            0.0,
+            0.25,
+            0.5,
+            0.99,
+            1.0,
+            2.0,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram, q={q}");
+        }
+        // One observation: every quantile reads the sole sample (the
+        // rank clamp pins degenerate q to the only rank there is).
+        let one = Histogram::detached();
+        one.record(42);
+        let s = one.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(s.quantile(q), 42, "single sample, q={q}");
+        }
+        // Many observations: degenerate q still lands inside the
+        // observed range, at its edges.
+        let many = Histogram::detached();
+        for v in [5u64, 500, 50_000] {
+            many.record(v);
+        }
+        let s = many.snapshot();
+        assert_eq!(s.quantile(-1.0), 5);
+        assert_eq!(s.quantile(2.0), 50_000);
+        assert_eq!(s.quantile(f64::NAN), 5);
+    }
+
+    #[test]
     fn registry_handles_share_state() {
         let reg = MetricsRegistry::new();
         let a = reg.counter("x_total");

@@ -37,9 +37,9 @@ use tlp_harness::experiments::{
     fig14, fig15, fig16, fig17, tables,
 };
 use tlp_harness::report::ExperimentResult;
-use tlp_harness::{Harness, L1Pf, RunConfig, Session};
+use tlp_harness::{Harness, L1Pf, RunConfig, Session, TimelineRun};
 use tlp_plugin::Seam;
-use tlp_serve::{Client, ServeError, Server, SweepRequest};
+use tlp_serve::{Client, ServeError, Server, SweepRequest, TimelineQuery};
 
 const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -75,6 +75,8 @@ fn main() {
     let mut serve_addr: Option<String> = None;
     let mut connect_addr: Option<String> = None;
     let mut profile_path: Option<std::path::PathBuf> = None;
+    let mut timeline_path: Option<std::path::PathBuf> = None;
+    let mut check_timeline: Option<std::path::PathBuf> = None;
     let mut want_stats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,6 +106,20 @@ fn main() {
                 Some(path) => profile_path = Some(path.into()),
                 None => {
                     eprintln!("--profile requires an output file (e.g. --profile p.json)");
+                    std::process::exit(2);
+                }
+            },
+            "--timeline" => match it.next() {
+                Some(path) => timeline_path = Some(path.into()),
+                None => {
+                    eprintln!("--timeline requires an output file (e.g. --timeline t.json)");
+                    std::process::exit(2);
+                }
+            },
+            "--check-timeline" => match it.next() {
+                Some(path) => check_timeline = Some(path.into()),
+                None => {
+                    eprintln!("--check-timeline requires a trace file written by --timeline");
                     std::process::exit(2);
                 }
             },
@@ -212,8 +228,12 @@ fn main() {
                      (--list-components covers all five seams: off-chip predictors, prefetchers, filters)\n\
                      --profile FILE.json writes the observability artifact after a local run\n\
                      (run-engine counters, metric registry snapshot, per-cell wall-clock timings)\n\
+                     --timeline FILE writes simulated-time telemetry (Chrome trace-event JSON for \
+                     Perfetto at FILE, windowed CSV at FILE.csv) for the active workloads under \
+                     the first --scheme (default: TLP)\n\
+                     --check-timeline FILE validates a trace written by --timeline and exits\n\
                      --serve HOST:PORT runs as a simulation daemon (concurrent clients share the cache)\n\
-                     --connect HOST:PORT runs --scheme sweeps on a remote daemon instead of locally\n\
+                     --connect HOST:PORT runs --scheme sweeps (and --timeline) on a remote daemon\n\
                      --stats (with --connect) dumps the daemon's live metrics as Prometheus-style text",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -228,17 +248,46 @@ fn main() {
     if let Some(mode) = engine {
         rc.engine = mode;
     }
+    // A standalone validation verb: exits 0 when FILE parses as a Chrome
+    // trace under the serial codec (CI's smoke check), 1 otherwise.
+    if let Some(path) = &check_timeline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match tlp_harness::timeline::check_chrome_trace(&text) {
+            Ok(n) => {
+                println!(
+                    "# timeline: {} is a valid Chrome trace ({n} events)",
+                    path.display()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("invalid timeline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     if serve_addr.is_some() && connect_addr.is_some() {
         eprintln!("--serve and --connect are mutually exclusive");
         std::process::exit(2);
     }
-    if serve_addr.is_some() && (!requested.is_empty() || !schemes.is_empty()) {
-        eprintln!("--serve runs as a daemon; drop experiment and --scheme operands");
+    if serve_addr.is_some()
+        && (!requested.is_empty() || !schemes.is_empty() || timeline_path.is_some())
+    {
+        eprintln!("--serve runs as a daemon; drop experiment, --scheme and --timeline operands");
         std::process::exit(2);
     }
     if connect_addr.is_some() {
-        if schemes.is_empty() && !want_stats {
-            eprintln!("--connect requires at least one --scheme NAME (sweeps run on the daemon)");
+        if schemes.is_empty() && !want_stats && timeline_path.is_none() {
+            eprintln!(
+                "--connect requires --scheme NAME, --stats, or --timeline FILE \
+                 (work runs on the daemon)"
+            );
             std::process::exit(2);
         }
         if !requested.is_empty() {
@@ -276,7 +325,8 @@ fn main() {
         || (requested.is_empty()
             && schemes.is_empty()
             && serve_addr.is_none()
-            && connect_addr.is_none())
+            && connect_addr.is_none()
+            && timeline_path.is_none())
     {
         requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
         requested.push("table45".into());
@@ -423,6 +473,48 @@ fn main() {
                 s.stats.summary_line()
             );
         }
+        // Remote telemetry: the daemon captures (or serves from its
+        // blob cache) and this process renders — the same renderer as
+        // the local path, so the files are byte-identical either way.
+        if let Some(path) = &timeline_path {
+            let query = TimelineQuery {
+                scheme: schemes.first().cloned().unwrap_or_else(|| "TLP".to_owned()),
+                l1pf: l1pf_name.clone(),
+                workloads: vec![],
+                window_cycles: 0,
+                journey_every: 0,
+            };
+            let reply = match client.timeline(&query) {
+                Ok(r) => r,
+                Err(ServeError::Server(msg)) => {
+                    eprintln!("--timeline: {msg}");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("--timeline: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let runs: Vec<TimelineRun> = reply
+                .runs
+                .iter()
+                .map(|(workload, timeline)| TimelineRun {
+                    workload: workload.clone(),
+                    scheme: reply.scheme.clone(),
+                    l1pf: reply.l1pf.clone(),
+                    timeline: std::sync::Arc::new(timeline.clone()),
+                })
+                .collect();
+            if let Err(e) = tlp_harness::timeline::write_timeline_files(path, &runs) {
+                eprintln!("cannot write timeline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# timeline written to {} (+ {}.csv)",
+                path.display(),
+                path.display()
+            );
+        }
         // A live metrics snapshot (Prometheus-style text) from the
         // daemon: request counters, latency quantiles, run-cache and —
         // when the daemon was built with `obs` — engine metrics.
@@ -477,11 +569,56 @@ fn main() {
         rc.engine,
         session.engine_stats().summary_line()
     );
+    // Local telemetry capture: instrumented re-simulations through the
+    // timeline blob cache (never through the run engine, so the summary
+    // line above and the profile counters below are unaffected).
+    let mut timeline_runs: Option<Vec<TimelineRun>> = None;
+    if let Some(path) = &timeline_path {
+        let scheme_name = schemes.first().cloned().unwrap_or_else(|| "TLP".to_owned());
+        let spec = match session.registry().scheme(&scheme_name) {
+            Ok(s) => s.clone(),
+            Err(e) => {
+                eprintln!("--timeline: {e} (--list-schemes shows all)");
+                std::process::exit(2);
+            }
+        };
+        let runs = match session.timeline_runs(
+            &[],
+            &spec,
+            &l1pf_name,
+            tlp_harness::TimelineConfig::default(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--timeline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = tlp_harness::timeline::write_timeline_files(path, &runs) {
+            eprintln!("cannot write timeline {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# timeline written to {} (+ {}.csv)",
+            path.display(),
+            path.display()
+        );
+        timeline_runs = Some(runs);
+    }
     // The profile artifact snapshots the same registry the summary line
     // was just rendered from (no simulation runs in between, so the
-    // counters in both are equal).
+    // counters in both are equal). When telemetry was captured, its
+    // summary is embedded (artifact schema 2).
     if let Some(path) = &profile_path {
-        if let Err(e) = session.write_profile(&rc.engine.to_string(), path) {
+        let summary = timeline_runs
+            .as_deref()
+            .map(tlp_harness::timeline::summary_value);
+        let artifact = tlp_harness::profile::profile_value_with(
+            session.harness(),
+            &rc.engine.to_string(),
+            summary,
+        );
+        if let Err(e) = std::fs::write(path, artifact.render()) {
             eprintln!("cannot write profile {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -7,7 +7,7 @@ use tlp_sim::SimReport;
 
 use crate::protocol::{
     read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame,
-    SweepRequest,
+    SweepRequest, TimelineQuery, TimelineReply,
 };
 
 /// Errors surfaced by client-side requests.
@@ -134,6 +134,33 @@ impl Client {
     /// [`ServeError::Server`] when the daemon rejects the query,
     /// [`ServeError::Protocol`]/[`ServeError::Io`] on a broken peer or
     /// transport.
+    /// Asks the daemon to capture simulated-time telemetry: one
+    /// [`tlp_sim::Timeline`] per workload, streamed back through the
+    /// daemon's blob cache. Deterministic captures mean the reply's
+    /// blobs are byte-identical to what a local `--timeline` run of the
+    /// same cells would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] when the daemon rejects the query,
+    /// [`ServeError::Protocol`]/[`ServeError::Io`] on a broken peer or
+    /// transport.
+    pub fn timeline(&mut self, query: &TimelineQuery) -> Result<TimelineReply, ServeError> {
+        write_frame(&mut self.stream, FrameKind::Timeline, &query.encode())?;
+        match read_frame(&mut self.stream)? {
+            None => Err(ServeError::Protocol(
+                "connection closed mid-response".to_owned(),
+            )),
+            Some((FrameKind::Timeline, payload)) => Ok(TimelineReply::decode(&payload)?),
+            Some((FrameKind::Error, payload)) => {
+                Err(ServeError::Server(ErrorFrame::decode(&payload)?.message))
+            }
+            Some((kind, _)) => Err(ServeError::Protocol(format!(
+                "unexpected {kind:?} frame in timeline response"
+            ))),
+        }
+    }
+
     pub fn stats(&mut self) -> Result<String, ServeError> {
         let query = StatsFrame {
             text: String::new(),

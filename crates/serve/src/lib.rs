@@ -57,6 +57,7 @@ pub mod server;
 
 pub use client::{Client, ServeError, SweepReply};
 pub use protocol::{
-    CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame, SweepRequest, PROTO_VERSION,
+    CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame, SweepRequest, TimelineQuery,
+    TimelineReply, PROTO_VERSION,
 };
 pub use server::{Server, ServerHandle};

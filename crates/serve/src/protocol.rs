@@ -16,7 +16,7 @@ use std::io::{Read, Write};
 
 use tlp_harness::EngineStats;
 use tlp_sim::serial::{self, SerialError, Value};
-use tlp_sim::SimReport;
+use tlp_sim::{SimReport, Timeline};
 
 /// Protocol version spoken by this build; requests carrying a different
 /// `proto` field are rejected.
@@ -43,6 +43,11 @@ pub enum FrameKind {
     /// ask for the daemon's live metrics; the server answers with one
     /// `STATS` frame carrying a Prometheus-style text snapshot.
     Stats = 5,
+    /// Bidirectional: a client sends a [`TimelineQuery`] asking for
+    /// simulated-time telemetry of a scheme/prefetcher/workload set; the
+    /// server answers with one [`TimelineReply`] carrying the captured
+    /// [`Timeline`] blobs (the same bytes its blob cache stores).
+    Timeline = 6,
 }
 
 impl FrameKind {
@@ -53,6 +58,7 @@ impl FrameKind {
             3 => Some(Self::Summary),
             4 => Some(Self::Error),
             5 => Some(Self::Stats),
+            6 => Some(Self::Timeline),
             _ => None,
         }
     }
@@ -271,6 +277,150 @@ impl StatsFrame {
     }
 }
 
+/// A client's telemetry query: capture timelines for one scheme /
+/// prefetcher pair across a workload set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineQuery {
+    /// Registered scheme name.
+    pub scheme: String,
+    /// Registered L1D prefetcher name.
+    pub l1pf: String,
+    /// Workload names; empty means the server's active workload set.
+    pub workloads: Vec<String>,
+    /// Window length in simulated cycles; 0 means the server default.
+    pub window_cycles: u64,
+    /// Journey sampling modulus (every K-th demand load); 0 means the
+    /// server default.
+    pub journey_every: u64,
+}
+
+impl TimelineQuery {
+    /// Encodes the query payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let workloads: Vec<Value> = self
+            .workloads
+            .iter()
+            .map(|w| Value::Str(w.clone()))
+            .collect();
+        Value::Obj(vec![
+            ("proto".to_owned(), Value::Num(PROTO_VERSION)),
+            ("scheme".to_owned(), Value::Str(self.scheme.clone())),
+            ("l1pf".to_owned(), Value::Str(self.l1pf.clone())),
+            ("workloads".to_owned(), Value::Arr(workloads)),
+            ("window_cycles".to_owned(), Value::Num(self.window_cycles)),
+            ("journey_every".to_owned(), Value::Num(self.journey_every)),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Decodes a query payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] on malformed JSON, missing fields, or a
+    /// protocol-version mismatch.
+    pub fn decode(payload: &[u8]) -> Result<Self, SerialError> {
+        let v = parse_payload(payload)?;
+        let proto = v.u64_field("proto")?;
+        if proto != PROTO_VERSION {
+            return Err(SerialError {
+                offset: 0,
+                message: format!("protocol version {proto} (this build speaks {PROTO_VERSION})"),
+            });
+        }
+        let workloads = v
+            .arr_field("workloads")?
+            .iter()
+            .map(|w| match w {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(SerialError {
+                    offset: 0,
+                    message: "workloads must be strings".to_owned(),
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            scheme: v.str_field("scheme")?,
+            l1pf: v.str_field("l1pf")?,
+            workloads,
+            window_cycles: v.u64_field("window_cycles")?,
+            journey_every: v.u64_field("journey_every")?,
+        })
+    }
+}
+
+/// The server's telemetry answer: one captured [`Timeline`] per
+/// workload, embedding the blob cache's serial encoding verbatim — a
+/// streamed timeline renders to the same bytes a local capture does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineReply {
+    /// The scheme the capture ran under.
+    pub scheme: String,
+    /// The L1D prefetcher the capture ran under.
+    pub l1pf: String,
+    /// `(workload, timeline)` pairs in request order.
+    pub runs: Vec<(String, Timeline)>,
+}
+
+impl TimelineReply {
+    /// Encodes the reply payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let runs: Vec<Value> = self
+            .runs
+            .iter()
+            .map(|(workload, timeline)| {
+                Value::Obj(vec![
+                    ("workload".to_owned(), Value::Str(workload.clone())),
+                    ("timeline".to_owned(), serial::timeline_value(timeline)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("proto".to_owned(), Value::Num(PROTO_VERSION)),
+            ("scheme".to_owned(), Value::Str(self.scheme.clone())),
+            ("l1pf".to_owned(), Value::Str(self.l1pf.clone())),
+            ("runs".to_owned(), Value::Arr(runs)),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Decodes a reply payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] on malformed JSON, missing fields, or a
+    /// protocol-version mismatch.
+    pub fn decode(payload: &[u8]) -> Result<Self, SerialError> {
+        let v = parse_payload(payload)?;
+        let proto = v.u64_field("proto")?;
+        if proto != PROTO_VERSION {
+            return Err(SerialError {
+                offset: 0,
+                message: format!("protocol version {proto} (this build speaks {PROTO_VERSION})"),
+            });
+        }
+        let runs = v
+            .arr_field("runs")?
+            .iter()
+            .map(|r| {
+                Ok((
+                    r.str_field("workload")?,
+                    serial::timeline_from_value(r.field("timeline")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SerialError>>()?;
+        Ok(Self {
+            scheme: v.str_field("scheme")?,
+            l1pf: v.str_field("l1pf")?,
+            runs,
+        })
+    }
+}
+
 /// A rejected request (unknown scheme, unknown workload, bad frame, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorFrame {
@@ -449,6 +599,74 @@ mod tests {
             .expect("frame");
         assert_eq!(k, FrameKind::Stats);
         assert_eq!(StatsFrame::decode(&p).expect("decodes"), reply);
+    }
+
+    #[test]
+    fn timeline_roundtrip_embeds_the_blob_codec() {
+        let query = TimelineQuery {
+            scheme: "tlp".to_owned(),
+            l1pf: "ipcp".to_owned(),
+            workloads: vec!["bfs.urand".to_owned()],
+            window_cycles: 0,
+            journey_every: 16,
+        };
+        assert_eq!(
+            TimelineQuery::decode(&query.encode()).expect("decodes"),
+            query
+        );
+        let mut timeline = Timeline {
+            window_cycles: 10_000,
+            journey_every: 64,
+            start_cycle: 5_000,
+            end_cycle: 45_000,
+            ..Timeline::default()
+        };
+        timeline.windows.push(tlp_timeline::WindowSample {
+            start_cycle: 5_000,
+            end_cycle: 15_000,
+            counters: tlp_timeline::Counters {
+                instructions: 31_000,
+                dram_reads: 12,
+                ..tlp_timeline::Counters::default()
+            },
+            rob_occupancy: 101,
+            mshr_occupancy: 7,
+        });
+        timeline.journeys.push(tlp_timeline::JourneyRecord {
+            core: 0,
+            ordinal: 64,
+            pc: 0x401_000,
+            vaddr: 0xfeed_0000,
+            dispatch: 6_000,
+            l1_at: 6_004,
+            fill_at: 6_210,
+            served_level: 3,
+            ..tlp_timeline::JourneyRecord::default()
+        });
+        let reply = TimelineReply {
+            scheme: "tlp".to_owned(),
+            l1pf: "ipcp".to_owned(),
+            runs: vec![("bfs.urand".to_owned(), timeline)],
+        };
+        let back = TimelineReply::decode(&reply.encode()).expect("decodes");
+        assert_eq!(back, reply);
+        // A timeline reply is not a stats frame, and vice versa.
+        assert!(StatsFrame::decode(&reply.encode()).is_err());
+        assert!(TimelineReply::decode(
+            &StatsFrame {
+                text: String::new()
+            }
+            .encode()
+        )
+        .is_err());
+        // The frame kind survives a byte stream.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Timeline, &reply.encode()).expect("write");
+        let (k, p) = read_frame(&mut std::io::Cursor::new(buf))
+            .expect("read")
+            .expect("frame");
+        assert_eq!(k, FrameKind::Timeline);
+        assert_eq!(TimelineReply::decode(&p).expect("decodes"), reply);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use tlp_trace::emit::Workload;
 
 use crate::protocol::{
     read_frame, write_frame, CellFrame, ErrorFrame, FrameKind, StatsFrame, SummaryFrame,
-    SweepRequest,
+    SweepRequest, TimelineQuery, TimelineReply,
 };
 
 /// The daemon's own instrumentation, on a dedicated registry so a STATS
@@ -229,6 +229,31 @@ fn handle_connection(
                 w.flush()?;
                 continue;
             }
+            FrameKind::Timeline => {
+                let query = match TimelineQuery::decode(&payload) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        metrics.errors.inc();
+                        send_error(&writer, &format!("malformed timeline query: {e}"))?;
+                        continue;
+                    }
+                };
+                metrics.requests.inc();
+                metrics.in_flight.inc();
+                let t0 = Instant::now();
+                let result = answer_timeline(session, &query, &writer);
+                metrics.latency.record_since(t0);
+                metrics.in_flight.dec();
+                match result {
+                    Ok(()) => {}
+                    Err(AnswerError::Reject(msg)) => {
+                        metrics.errors.inc();
+                        send_error(&writer, &msg)?;
+                    }
+                    Err(AnswerError::Io(e)) => return Err(e),
+                }
+                continue;
+            }
             other => {
                 metrics.errors.inc();
                 send_error(&writer, &format!("unexpected {other:?} frame from client"))?;
@@ -347,6 +372,53 @@ fn answer_sweep(
     };
     let mut w = writer.lock();
     write_frame(&mut *w, FrameKind::Summary, &summary.encode()).map_err(AnswerError::Io)
+}
+
+/// Captures timelines for a telemetry query through the shared session's
+/// blob cache and answers with one TIMELINE frame. Captures are
+/// deterministic, so concurrent identical queries cost at most wasted
+/// work, never divergent replies.
+fn answer_timeline(
+    session: &Session,
+    query: &TimelineQuery,
+    writer: &Mutex<TcpStream>,
+) -> Result<(), AnswerError> {
+    let scheme = session.resolve_scheme_name(&query.scheme)?;
+    let pf = session.resolve_l1pf_name(&query.l1pf)?;
+    let harness = session.harness();
+    let workloads: Vec<Arc<dyn Workload>> = if query.workloads.is_empty() {
+        harness.active_workloads()
+    } else {
+        let mut seen = std::collections::HashSet::new();
+        let mut ws = Vec::new();
+        for name in &query.workloads {
+            if seen.insert(name.as_str()) {
+                ws.push(session.workload(name)?);
+            }
+        }
+        ws
+    };
+    let mut tcfg = tlp_sim::TimelineConfig::default();
+    if query.window_cycles > 0 {
+        tcfg.window_cycles = query.window_cycles;
+    }
+    if query.journey_every > 0 {
+        tcfg.journey_every = query.journey_every;
+    }
+    let runs = workloads
+        .iter()
+        .map(|w| {
+            let t = harness.timeline_single_spec(w, Arc::clone(&scheme), Arc::clone(&pf), tcfg);
+            (w.name().to_owned(), (*t).clone())
+        })
+        .collect();
+    let reply = TimelineReply {
+        scheme: query.scheme.clone(),
+        l1pf: query.l1pf.clone(),
+        runs,
+    };
+    let mut w = writer.lock();
+    write_frame(&mut *w, FrameKind::Timeline, &reply.encode()).map_err(AnswerError::Io)
 }
 
 fn send_error(writer: &Mutex<TcpStream>, message: &str) -> std::io::Result<()> {

@@ -187,6 +187,12 @@ impl Core {
         self.front_seq
     }
 
+    /// Current ROB occupancy (timeline gauge).
+    #[must_use]
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
     /// Zeroes the measurement counters (end of warmup). Microarchitectural
     /// state (ROB, predictors, queues) is preserved.
     pub fn reset_stats(&mut self) {

@@ -5,7 +5,7 @@
 use std::collections::VecDeque;
 
 use crate::config::DramConfig;
-use crate::request::{ReqKind, Request};
+use crate::request::{ReqKind, Request, NO_JOURNEY};
 use crate::stats::DramStats;
 use crate::types::{CoreId, Cycle, LINE_SIZE};
 
@@ -62,9 +62,17 @@ pub struct Dram {
     /// (cleared) `Vec<Request>` here and new read transactions reuse
     /// them, so a warmed-up controller allocates nothing per tick.
     free_waiters: Vec<Vec<Request>>,
+    /// Bank-service timestamps for timeline-sampled waiters, drained by
+    /// the engine each tick. Preallocated; overflow marks are dropped
+    /// (journeys then simply miss their bank stamp).
+    journey_marks: Vec<(u32, Cycle)>,
     /// Counters.
     pub stats: DramStats,
 }
+
+/// Bound on undrained journey marks. The engine drains every tick, so in
+/// practice this holds one tick's worth of newly scheduled sampled reads.
+const JOURNEY_MARKS_CAP: usize = 128;
 
 /// Freelist bound: enough for every read-queue slot plus in-flight
 /// transactions at realistic configs; beyond it buffers are dropped.
@@ -101,6 +109,7 @@ impl Dram {
             ddrp: VecDeque::new(),
             draining_writes: false,
             free_waiters: Vec::new(),
+            journey_marks: Vec::with_capacity(JOURNEY_MARKS_CAP),
             cfg,
             stats: DramStats::default(),
         }
@@ -357,6 +366,12 @@ impl Dram {
             None => self.cfg.t_rcd + self.cfg.t_cas,
         };
         bank.open_row = Some(row);
+        // Timeline: the bank begins servicing this transaction at `start`.
+        for w in &t.waiters {
+            if w.journey != NO_JOURNEY && self.journey_marks.len() < JOURNEY_MARKS_CAP {
+                self.journey_marks.push((w.journey, start));
+            }
+        }
         let data_ready = start + access;
         let xfer_start = data_ready.max(self.bus_free_at);
         let done = xfer_start + self.burst;
@@ -365,6 +380,14 @@ impl Dram {
         t.done_at = Some(done);
         self.earliest_done = self.earliest_done.min(done);
         self.in_flight.push(t);
+    }
+
+    /// Drain one (journey id, bank-service-start cycle) mark recorded by
+    /// the scheduler. The engine pulls these every tick and forwards them
+    /// to the timeline recorder.
+    #[inline]
+    pub fn pop_journey_mark(&mut self) -> Option<(u32, Cycle)> {
+        self.journey_marks.pop()
     }
 
     /// Outstanding work (for quiescence checks).

@@ -42,10 +42,11 @@ use crate::hooks::{
     L2PrefetchFilter, L2Prefetcher, LoadCtx, NoL1Filter, NoL1Prefetcher, NoL2Filter,
     NoL2Prefetcher, NoOffChip, OffChipDecision, OffChipPredictor, OffChipTag, PrefetchCandidate,
 };
-use crate::request::{ReqKind, Request};
+use crate::request::{ReqKind, Request, NO_JOURNEY};
 use crate::stats::{CoreReport, OffChipStats, PrefetchStats, SimReport};
 use crate::types::{CoreId, Cycle, Level, LINE_SIZE};
 use crate::vm::{Mmu, PageTable};
+use tlp_timeline::{Counters as TimelineCounters, Recorder, Stage, Timeline, TimelineConfig};
 
 /// How [`System::run`] advances time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -178,6 +179,15 @@ struct CoreState {
     trace_exhausted: bool,
     pf_scratch: Vec<PrefetchCandidate>,
     l2_pf_scratch: Vec<L2PrefetchCandidate>,
+}
+
+/// Timeline encoding of an off-chip decision (the artifact is integer-only).
+fn offchip_code(d: OffChipDecision) -> u64 {
+    match d {
+        OffChipDecision::NoIssue => 0,
+        OffChipDecision::IssueOnL1dMiss => 1,
+        OffChipDecision::IssueNow => 2,
+    }
 }
 
 struct PredictHook<'a> {
@@ -337,6 +347,11 @@ pub struct System {
     /// Write-only instrumentation handles (a zero-sized no-op without
     /// the `obs` feature).
     obs: crate::obs::EngineObs,
+    /// Simulated-time telemetry recorder, armed by
+    /// [`System::enable_timeline`]. Boxed so the common disabled case
+    /// costs one pointer; all recorder storage is preallocated, so the
+    /// enabled steady-state tick still never allocates.
+    timeline: Option<Box<Recorder>>,
 }
 
 impl std::fmt::Debug for System {
@@ -407,6 +422,7 @@ impl System {
             scratch: TickScratch::default(),
             ticks_executed: 0,
             obs: crate::obs::EngineObs::new(),
+            timeline: None,
         }
     }
 
@@ -449,6 +465,77 @@ impl System {
         self.next_id
     }
 
+    /// Arms a simulated-time timeline capture. [`System::run`] re-arms the
+    /// recorder at the warmup/measurement boundary so the artifact covers
+    /// only the measured window; a system driven directly through
+    /// [`System::tick`] records from the current cycle. Timeline data is
+    /// derived from simulated state only and never feeds back into the
+    /// simulation, so enabling it cannot perturb the [`SimReport`].
+    pub fn enable_timeline(&mut self, cfg: TimelineConfig) {
+        let mut rec = Box::new(Recorder::new(cfg, self.cores.len()));
+        let (snap, _, _) = self.timeline_observe();
+        rec.restart(self.cycle, snap);
+        self.timeline = Some(rec);
+    }
+
+    /// Finishes an armed capture at the current cycle and returns the
+    /// artifact (or `None` if no capture was armed).
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        let (snap, rob, mshr) = self.timeline_observe();
+        let now = self.cycle;
+        self.timeline
+            .take()
+            .map(|mut rec| rec.finish_run(now, snap, rob, mshr))
+    }
+
+    /// Snapshot of the monotone counters the timeline windows are deltas
+    /// of, plus the two occupancy gauges. A pure read of stats the hot
+    /// loop maintains anyway; only consulted at window boundaries.
+    fn timeline_observe(&self) -> (TimelineCounters, u64, u64) {
+        let mut c = TimelineCounters::default();
+        let mut rob = 0u64;
+        let mut mshr = 0u64;
+        for cs in &self.cores {
+            c.instructions += cs.core.retired();
+            c.l1d_misses += cs.l1d.stats.demand_misses;
+            c.l2_misses += cs.l2.stats.demand_misses;
+            for pf in [&cs.l1_pf_stats, &cs.l2_pf_stats] {
+                c.pf_issued += pf.issued;
+                c.pf_useful += pf.useful_by_level.iter().sum::<u64>();
+                c.pf_useless += pf.useless_by_level.iter().sum::<u64>();
+                c.pf_filtered += pf.filtered;
+            }
+            let oc = &cs.offchip_stats;
+            c.offchip_issued += oc.issued_now + oc.delayed_issued;
+            c.offchip_accurate += oc.issued_outcome[Level::Dram.index()];
+            c.offchip_missed += oc.missed_offchip;
+            c.offchip_predicted_onchip += oc.predicted_onchip;
+            c.offchip_correct_onchip += oc.correct_onchip;
+            rob += cs.core.rob_occupancy() as u64;
+            mshr += (cs.l1d.mshrs_in_use() + cs.l2.mshrs_in_use()) as u64;
+        }
+        c.llc_misses = self.llc.stats.demand_misses;
+        let d = &self.dram.stats;
+        c.dram_reads = d.reads + d.spec_reads;
+        c.dram_writes = d.writes;
+        c.dram_row_hits = d.row_hits;
+        c.dram_row_conflicts = d.row_conflicts;
+        mshr += self.llc.mshrs_in_use() as u64;
+        (c, rob, mshr)
+    }
+
+    /// Forward a journey stage stamp to the recorder, if armed. The id
+    /// check keeps the unsampled (overwhelmingly common) case to one
+    /// compare.
+    #[inline]
+    fn stamp_journey(&mut self, id: u32, stage: Stage, at: Cycle) {
+        if id != NO_JOURNEY {
+            if let Some(tl) = &mut self.timeline {
+                tl.stamp(id, stage, at);
+            }
+        }
+    }
+
     /// Runs `warmup` instructions per core with counters discarded, then
     /// `measure` instructions per core with counters live, and returns the
     /// report. Finite traces may end early; the report covers what ran.
@@ -480,6 +567,14 @@ impl System {
         self.reset_stats();
         self.measuring = true;
         let start = self.cycle;
+        // Re-arm the timeline at the measurement boundary: warmup-era
+        // windows and in-flight journeys are discarded, ordinals restart.
+        if self.timeline.is_some() {
+            let (snap, _, _) = self.timeline_observe();
+            if let Some(tl) = &mut self.timeline {
+                tl.restart(start, snap);
+            }
+        }
         let targets: Vec<u64> = self
             .cores
             .iter()
@@ -803,11 +898,31 @@ impl System {
         self.cycle += 1;
         self.ticks_executed += 1;
         let now = self.cycle;
+        // Timeline catch-up for window boundaries the event engine jumped
+        // over: the skipped cycles were provably idle, so the counters at
+        // those boundaries equal the counters right now — sampling them
+        // here reproduces the cycle engine's zero windows bit-for-bit.
+        if self
+            .timeline
+            .as_ref()
+            .is_some_and(|tl| tl.window_due_before(now))
+        {
+            let (snap, rob, mshr) = self.timeline_observe();
+            if let Some(tl) = &mut self.timeline {
+                tl.sample_skipped(now, snap, rob, mshr);
+            }
+        }
         // 1. DRAM completions climb back up the hierarchy. The scratch
         // buffer is engine-owned: cleared after use, never freed, so the
         // steady-state tick performs no allocation here.
         let mut done = std::mem::take(&mut self.scratch.dram_done);
         self.dram.tick_into(now, &mut done);
+        // Bank-service stamps for sampled reads scheduled this tick.
+        while let Some((id, at)) = self.dram.pop_journey_mark() {
+            if let Some(tl) = &mut self.timeline {
+                tl.stamp(id, Stage::BankService, at);
+            }
+        }
         for req in &done {
             self.deliver_from_dram(req, now);
         }
@@ -838,6 +953,19 @@ impl System {
             let _t = self.obs.core_tick_span();
             for i in 0..self.cores.len() {
                 self.tick_core(i, now);
+            }
+        }
+        // A window boundary landing exactly on this cycle is sampled with
+        // the post-tick counters — identical in both engine modes, since
+        // both execute this tick in full.
+        if self
+            .timeline
+            .as_ref()
+            .is_some_and(|tl| tl.window_due_at(now))
+        {
+            let (snap, rob, mshr) = self.timeline_observe();
+            if let Some(tl) = &mut self.timeline {
+                tl.sample_at(now, snap, rob, mshr);
             }
         }
         self.obs.on_tick(self.cores.len() as u64);
@@ -920,6 +1048,7 @@ impl System {
     }
 
     fn forward_to_dram(&mut self, req: Request, now: Cycle) {
+        self.stamp_journey(req.journey, Stage::DramQueue, now);
         // Hermes semantics: a demand that reaches the LLC-miss path first
         // checks the DDRP buffer for a completed speculative fill.
         if req.kind.is_demand() && self.dram.take_ddrp(req.core, req.paddr) {
@@ -1068,6 +1197,15 @@ impl System {
         let Some(done) = self.cores[c].core.complete_load(seq, now) else {
             return;
         };
+        // Journey completion: data delivered to the core this cycle.
+        if w.journey != NO_JOURNEY {
+            if let Some(tl) = &mut self.timeline {
+                if w.filter.valid {
+                    tl.stamp_filter(w.journey);
+                }
+                tl.finish(w.journey, now, served.index() as u64);
+            }
+        }
         let frozen = self.cores[c].core.stats_frozen();
         let ctx = LoadCtx {
             core: c,
@@ -1168,13 +1306,18 @@ impl System {
             self.attribute_prefetch_outcome(&ev);
         }
         for req in out.hits.drain(..) {
+            self.stamp_journey(req.journey, Stage::L2Lookup, now);
             self.deliver_to_l1(req.core, req.line(), Level::L2, now);
         }
         for req in out.forwards.drain(..) {
+            self.stamp_journey(req.journey, Stage::L2Lookup, now);
             self.llc.push_demand(req, now);
         }
         // SPP observes demand accesses and produces candidates; PPF filters.
         for (req, hit) in out.demand_accesses.drain(..) {
+            // Covers loads that merged into an existing L2 MSHR (neither a
+            // hit nor a forward); idempotent for the other two paths.
+            self.stamp_journey(req.journey, Stage::L2Lookup, now);
             let acc = L2Access {
                 core: i,
                 pc: req.pc,
@@ -1244,7 +1387,12 @@ impl System {
         }
         for req in out.hits.drain(..) {
             match req.kind {
-                ReqKind::Load => self.complete_load(i, &req, Level::L1d, now),
+                ReqKind::Load => {
+                    // Stamp before completion: `complete_load` finishes the
+                    // journey and retires its slot.
+                    self.stamp_journey(req.journey, Stage::L1Lookup, now);
+                    self.complete_load(i, &req, Level::L1d, now);
+                }
                 ReqKind::PrefetchL1 { .. } => {
                     // Forwarded prefetch that hit here cannot happen (L1 is
                     // the origin), but stay safe.
@@ -1253,6 +1401,7 @@ impl System {
             }
         }
         for req in out.forwards.drain(..) {
+            self.stamp_journey(req.journey, Stage::L1Lookup, now);
             // Selective delay: the tagged load missed in L1D, so issue the
             // speculative DRAM request now.
             if req.kind == ReqKind::Load && req.offchip.decision == OffChipDecision::IssueOnL1dMiss
@@ -1271,6 +1420,9 @@ impl System {
         }
         // L1 prefetcher hooks.
         for (req, hit) in out.demand_accesses.drain(..) {
+            // Covers loads that merged into an existing L1 MSHR; for hits
+            // the journey already completed above, so this is a no-op.
+            self.stamp_journey(req.journey, Stage::L1Lookup, now);
             let acc = DemandAccess {
                 core: i,
                 pc: req.pc,
@@ -1393,7 +1545,19 @@ impl System {
                     cs.core.stats.stlb_misses += 1;
                 }
             }
-            let req = Request::demand_load(id, i, l.pc, l.vaddr, t.paddr, l.seq, l.offchip, now);
+            let mut req =
+                Request::demand_load(id, i, l.pc, l.vaddr, t.paddr, l.seq, l.offchip, now);
+            if let Some(tl) = &mut self.timeline {
+                req.journey = tl.begin_load(
+                    i,
+                    l.pc,
+                    l.vaddr,
+                    now,
+                    offchip_code(l.offchip.decision),
+                    l.offchip.valid,
+                );
+            }
+            let cs = &mut self.cores[i];
             cs.l1d.push_demand(req, now + t.latency);
             if l.offchip.decision == OffChipDecision::IssueNow {
                 let id = self.fresh_id();

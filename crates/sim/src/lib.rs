@@ -46,4 +46,5 @@ pub mod vm;
 pub use config::SystemConfig;
 pub use engine::{CoreSetup, EngineMode, System};
 pub use stats::SimReport;
+pub use tlp_timeline::{Timeline, TimelineConfig};
 pub use types::{CoreId, Cycle, Level};

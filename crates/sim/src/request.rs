@@ -104,7 +104,12 @@ pub struct Request {
     pub born: Cycle,
     /// Level that served the data (set on completion).
     pub served_from: Option<Level>,
+    /// Timeline journey id ([`NO_JOURNEY`] when the load is not sampled).
+    pub journey: u32,
 }
+
+/// Sentinel for [`Request::journey`]: this request carries no flight record.
+pub const NO_JOURNEY: u32 = u32::MAX;
 
 /// Hot-loop size budget: a request must stay a plain fixed-size copy.
 /// 192 bytes covers the current layout with headroom for one more tag;
@@ -149,6 +154,7 @@ impl Request {
             pf_trigger: None,
             born,
             served_from: None,
+            journey: NO_JOURNEY,
         }
     }
 
@@ -168,6 +174,7 @@ impl Request {
             pf_trigger: None,
             born,
             served_from: None,
+            journey: NO_JOURNEY,
         }
     }
 
@@ -187,6 +194,7 @@ impl Request {
             pf_trigger: None,
             born,
             served_from: None,
+            journey: NO_JOURNEY,
         }
     }
 
@@ -213,6 +221,7 @@ impl Request {
             pf_trigger: None,
             born,
             served_from: None,
+            journey: NO_JOURNEY,
         }
     }
 }

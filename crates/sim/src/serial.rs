@@ -660,6 +660,188 @@ pub fn report_from_value(root: &Value) -> Result<SimReport, SerialError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Timeline artifacts
+// ---------------------------------------------------------------------------
+
+use tlp_timeline::{Counters, JourneyRecord, Timeline, WindowSample};
+
+fn counters_value(c: &Counters) -> Value {
+    Value::Obj(vec![
+        ("instructions".into(), Value::Num(c.instructions)),
+        ("l1d_misses".into(), Value::Num(c.l1d_misses)),
+        ("l2_misses".into(), Value::Num(c.l2_misses)),
+        ("llc_misses".into(), Value::Num(c.llc_misses)),
+        ("pf_issued".into(), Value::Num(c.pf_issued)),
+        ("pf_useful".into(), Value::Num(c.pf_useful)),
+        ("pf_useless".into(), Value::Num(c.pf_useless)),
+        ("pf_filtered".into(), Value::Num(c.pf_filtered)),
+        ("offchip_issued".into(), Value::Num(c.offchip_issued)),
+        ("offchip_accurate".into(), Value::Num(c.offchip_accurate)),
+        ("offchip_missed".into(), Value::Num(c.offchip_missed)),
+        (
+            "offchip_predicted_onchip".into(),
+            Value::Num(c.offchip_predicted_onchip),
+        ),
+        (
+            "offchip_correct_onchip".into(),
+            Value::Num(c.offchip_correct_onchip),
+        ),
+        ("dram_reads".into(), Value::Num(c.dram_reads)),
+        ("dram_writes".into(), Value::Num(c.dram_writes)),
+        ("dram_row_hits".into(), Value::Num(c.dram_row_hits)),
+        (
+            "dram_row_conflicts".into(),
+            Value::Num(c.dram_row_conflicts),
+        ),
+    ])
+}
+
+fn counters_from(v: &Value) -> Result<Counters, SerialError> {
+    Ok(Counters {
+        instructions: v.u64_field("instructions")?,
+        l1d_misses: v.u64_field("l1d_misses")?,
+        l2_misses: v.u64_field("l2_misses")?,
+        llc_misses: v.u64_field("llc_misses")?,
+        pf_issued: v.u64_field("pf_issued")?,
+        pf_useful: v.u64_field("pf_useful")?,
+        pf_useless: v.u64_field("pf_useless")?,
+        pf_filtered: v.u64_field("pf_filtered")?,
+        offchip_issued: v.u64_field("offchip_issued")?,
+        offchip_accurate: v.u64_field("offchip_accurate")?,
+        offchip_missed: v.u64_field("offchip_missed")?,
+        offchip_predicted_onchip: v.u64_field("offchip_predicted_onchip")?,
+        offchip_correct_onchip: v.u64_field("offchip_correct_onchip")?,
+        dram_reads: v.u64_field("dram_reads")?,
+        dram_writes: v.u64_field("dram_writes")?,
+        dram_row_hits: v.u64_field("dram_row_hits")?,
+        dram_row_conflicts: v.u64_field("dram_row_conflicts")?,
+    })
+}
+
+fn window_value(w: &WindowSample) -> Value {
+    Value::Obj(vec![
+        ("start_cycle".into(), Value::Num(w.start_cycle)),
+        ("end_cycle".into(), Value::Num(w.end_cycle)),
+        ("counters".into(), counters_value(&w.counters)),
+        ("rob_occupancy".into(), Value::Num(w.rob_occupancy)),
+        ("mshr_occupancy".into(), Value::Num(w.mshr_occupancy)),
+    ])
+}
+
+fn window_from(v: &Value) -> Result<WindowSample, SerialError> {
+    Ok(WindowSample {
+        start_cycle: v.u64_field("start_cycle")?,
+        end_cycle: v.u64_field("end_cycle")?,
+        counters: counters_from(v.field("counters")?)?,
+        rob_occupancy: v.u64_field("rob_occupancy")?,
+        mshr_occupancy: v.u64_field("mshr_occupancy")?,
+    })
+}
+
+fn journey_value(j: &JourneyRecord) -> Value {
+    Value::Obj(vec![
+        ("core".into(), Value::Num(j.core)),
+        ("ordinal".into(), Value::Num(j.ordinal)),
+        ("pc".into(), Value::Num(j.pc)),
+        ("vaddr".into(), Value::Num(j.vaddr)),
+        ("dispatch".into(), Value::Num(j.dispatch)),
+        ("l1_at".into(), Value::Num(j.l1_at)),
+        ("l2_at".into(), Value::Num(j.l2_at)),
+        ("dram_queue_at".into(), Value::Num(j.dram_queue_at)),
+        ("bank_at".into(), Value::Num(j.bank_at)),
+        ("fill_at".into(), Value::Num(j.fill_at)),
+        ("offchip_decision".into(), Value::Num(j.offchip_decision)),
+        ("offchip_valid".into(), Value::Num(j.offchip_valid)),
+        ("filter_seen".into(), Value::Num(j.filter_seen)),
+        ("served_level".into(), Value::Num(j.served_level)),
+    ])
+}
+
+fn journey_from(v: &Value) -> Result<JourneyRecord, SerialError> {
+    Ok(JourneyRecord {
+        core: v.u64_field("core")?,
+        ordinal: v.u64_field("ordinal")?,
+        pc: v.u64_field("pc")?,
+        vaddr: v.u64_field("vaddr")?,
+        dispatch: v.u64_field("dispatch")?,
+        l1_at: v.u64_field("l1_at")?,
+        l2_at: v.u64_field("l2_at")?,
+        dram_queue_at: v.u64_field("dram_queue_at")?,
+        bank_at: v.u64_field("bank_at")?,
+        fill_at: v.u64_field("fill_at")?,
+        offchip_decision: v.u64_field("offchip_decision")?,
+        offchip_valid: v.u64_field("offchip_valid")?,
+        filter_seen: v.u64_field("filter_seen")?,
+        served_level: v.u64_field("served_level")?,
+    })
+}
+
+/// Encodes a timeline as a [`Value`] (for embedding in harness artifacts
+/// and `tlp-serve` frames).
+#[must_use]
+pub fn timeline_value(t: &Timeline) -> Value {
+    Value::Obj(vec![
+        ("window_cycles".into(), Value::Num(t.window_cycles)),
+        ("journey_every".into(), Value::Num(t.journey_every)),
+        ("start_cycle".into(), Value::Num(t.start_cycle)),
+        ("end_cycle".into(), Value::Num(t.end_cycle)),
+        ("windows_dropped".into(), Value::Num(t.windows_dropped)),
+        ("journeys_dropped".into(), Value::Num(t.journeys_dropped)),
+        (
+            "windows".into(),
+            Value::Arr(t.windows.iter().map(window_value).collect()),
+        ),
+        (
+            "journeys".into(),
+            Value::Arr(t.journeys.iter().map(journey_value).collect()),
+        ),
+    ])
+}
+
+/// Encodes a timeline as JSON (the on-disk blob-cache format).
+#[must_use]
+pub fn timeline_to_json(t: &Timeline) -> String {
+    timeline_value(t).render()
+}
+
+/// Decodes a timeline from an already-parsed [`Value`].
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the value lacks a required field.
+pub fn timeline_from_value(root: &Value) -> Result<Timeline, SerialError> {
+    let windows = root
+        .arr_field("windows")?
+        .iter()
+        .map(window_from)
+        .collect::<Result<Vec<_>, _>>()?;
+    let journeys = root
+        .arr_field("journeys")?
+        .iter()
+        .map(journey_from)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Timeline {
+        window_cycles: root.u64_field("window_cycles")?,
+        journey_every: root.u64_field("journey_every")?,
+        start_cycle: root.u64_field("start_cycle")?,
+        end_cycle: root.u64_field("end_cycle")?,
+        windows,
+        journeys,
+        windows_dropped: root.u64_field("windows_dropped")?,
+        journeys_dropped: root.u64_field("journeys_dropped")?,
+    })
+}
+
+/// Decodes a timeline from its JSON blob-cache format.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] on malformed input (e.g. a truncated blob).
+pub fn timeline_from_json(text: &str) -> Result<Timeline, SerialError> {
+    timeline_from_value(&parse_value(text)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +908,68 @@ mod tests {
         let bad = good.replace("\"total_cycles\"", "\"total_cyclez\"");
         let err = report_from_json(&bad).expect_err("must fail");
         assert!(err.to_string().contains("total_cycles"), "{err}");
+    }
+
+    #[test]
+    fn timeline_roundtrip_preserves_every_field() {
+        let t = Timeline {
+            window_cycles: 10_000,
+            journey_every: 64,
+            start_cycle: 123,
+            end_cycle: 98_765,
+            windows: vec![
+                WindowSample {
+                    start_cycle: 123,
+                    end_cycle: 10_123,
+                    counters: Counters {
+                        instructions: u64::MAX,
+                        l1d_misses: 42,
+                        offchip_missed: 7,
+                        dram_row_conflicts: 9,
+                        ..Counters::default()
+                    },
+                    rob_occupancy: 17,
+                    mshr_occupancy: 3,
+                },
+                WindowSample::default(),
+            ],
+            journeys: vec![JourneyRecord {
+                core: 1,
+                ordinal: 128,
+                pc: 0x400_1234,
+                vaddr: 0xdead_beef,
+                dispatch: 200,
+                l1_at: 204,
+                l2_at: 0,
+                dram_queue_at: 250,
+                bank_at: 260,
+                fill_at: 400,
+                offchip_decision: 2,
+                offchip_valid: 1,
+                filter_seen: 0,
+                served_level: 3,
+            }],
+            windows_dropped: 5,
+            journeys_dropped: 1,
+        };
+        let json = timeline_to_json(&t);
+        let back = timeline_from_json(&json).expect("decodes");
+        assert_eq!(t, back);
+        // Empty artifact round-trips too.
+        let empty = Timeline::default();
+        let back = timeline_from_json(&timeline_to_json(&empty)).expect("decodes");
+        assert_eq!(empty, back);
+    }
+
+    #[test]
+    fn timeline_rejects_malformed_input() {
+        assert!(timeline_from_json("").is_err());
+        assert!(timeline_from_json("{}").is_err());
+        let good = timeline_to_json(&Timeline::default());
+        assert!(timeline_from_json(&good[..good.len() - 3]).is_err());
+        // A report blob is not a timeline blob.
+        let report = report_to_json(&SimReport::default());
+        assert!(timeline_from_json(&report).is_err());
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! (default 0.95) of cycle-mode speed — CI's guard against the event
 //! scheduling pass regressing on compute-bound phases. No JSON is
 //! written in this mode.
+//!
+//! `--timing-only` runs `bfs.urand` under the cycle engine once and
+//! prints the wall-clock seconds (and nothing else) to stdout.
+//! `scripts/bench-engine.sh` invokes it compiled with `--features obs`
+//! and feeds the result back through `TLP_BENCH_OBS_WALL`, so the
+//! recording run can embed the obs-feature overhead ratio in the same
+//! trajectory entry — "observation is free" gets tracked, not asserted.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -75,6 +82,19 @@ fn main() {
         sanity_gate();
         return;
     }
+    // `--timing-only`: one cycle-engine run of bfs.urand, wall seconds
+    // on stdout. The obs-overhead pass compiles this with
+    // `--features obs`; printing only the number keeps the shell's
+    // capture trivial.
+    if args.iter().any(|a| a == "--timing-only") {
+        eprintln!(
+            "# timing-only: bfs.urand / cycle engine (obs feature {})",
+            if cfg!(feature = "obs") { "on" } else { "off" }
+        );
+        let s = run_one("bfs.urand", EngineMode::Cycle);
+        println!("{:.4}", s.wall_s);
+        return;
+    }
     let out_path = args
         .iter()
         .find(|a| !a.starts_with('-'))
@@ -101,7 +121,21 @@ fn main() {
         );
     }
 
-    let run = render_run(&stamp(), &samples);
+    // When the packaged script ran the extra `--features obs` pass, its
+    // wall time arrives via the environment; the baseline is this run's
+    // own bfs.urand/cycle sample, so both numbers are single-sample
+    // measurements of the identical configuration.
+    let obs_overhead = std::env::var("TLP_BENCH_OBS_WALL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .and_then(|obs_wall| {
+            samples
+                .iter()
+                .find(|s| s.workload == "bfs.urand" && s.mode == EngineMode::Cycle)
+                .map(|base| (base.wall_s, obs_wall))
+        });
+
+    let run = render_run(&stamp(), &samples, obs_overhead);
     for pair in samples.chunks(2) {
         let speedup = pair[0].wall_s / pair[1].wall_s.max(1e-9);
         let skipped =
@@ -169,8 +203,10 @@ fn stamp() -> String {
 }
 
 /// One trajectory entry: stamp, config, per-(workload, mode) results,
-/// and the derived speedups. Indented to sit inside `"runs": [...]`.
-fn render_run(stamp: &str, samples: &[Sample]) -> String {
+/// the derived speedups, and — when the script supplied the extra
+/// `--features obs` pass — the obs-feature overhead ratio. Indented to
+/// sit inside `"runs": [...]`.
+fn render_run(stamp: &str, samples: &[Sample], obs_overhead: Option<(f64, f64)>) -> String {
     let mut run = String::from("    {\n");
     let _ = writeln!(run, "      \"stamp\": \"{stamp}\",");
     let _ = writeln!(
@@ -205,7 +241,21 @@ fn render_run(stamp: &str, samples: &[Sample]) -> String {
             if (i + 1) * 2 < samples.len() { "," } else { "" },
         );
     }
-    run.push_str("      ]\n    }");
+    run.push_str("      ]");
+    if let Some((base_wall, obs_wall)) = obs_overhead {
+        let ratio = obs_wall / base_wall.max(1e-9);
+        println!(
+            "obs overhead (bfs.urand, cycle): base {base_wall:.3}s, obs {obs_wall:.3}s → {ratio:.2}x"
+        );
+        run.push_str(",\n");
+        let _ = writeln!(
+            run,
+            "      \"obs_overhead\": {{\"workload\": \"bfs.urand\", \"mode\": \"cycle\", \"base_wall_s\": {base_wall:.4}, \"obs_wall_s\": {obs_wall:.4}, \"obs_over_base\": {ratio:.3}}}"
+        );
+        run.push_str("    }");
+    } else {
+        run.push_str("\n    }");
+    }
     run
 }
 

@@ -19,6 +19,12 @@
 # The race refuses to record a timing unless both engines produced
 # field-identical reports, so the JSON can never advertise a speedup
 # bought with accuracy.
+#
+# Recording runs also interleave one extra pass compiled with
+# `--features obs` (timing-only, bfs.urand under the cycle engine); its
+# wall time is fed back through TLP_BENCH_OBS_WALL so the appended
+# trajectory entry carries an `obs_overhead` ratio against this run's
+# own baseline sample. Set TLP_BENCH_SKIP_OBS=1 to skip the extra pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,4 +35,18 @@ export TLP_BENCH_STAMP="${TLP_BENCH_STAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 if [ "$#" -eq 0 ]; then
   set -- BENCH_engine.json
 fi
+
+sanity=0
+for arg in "$@"; do
+  [ "$arg" = "--sanity" ] && sanity=1
+done
+
+# The obs-overhead pass: same workload/engine the recording run measures
+# as its baseline, but with the `obs` feature compiled in. Only the
+# number lands on stdout, so the capture is a plain substitution.
+if [ "$sanity" -eq 0 ] && [ "${TLP_BENCH_SKIP_OBS:-0}" != "1" ]; then
+  TLP_BENCH_OBS_WALL="$(cargo run --release --features obs --example engine_race -- --timing-only)"
+  export TLP_BENCH_OBS_WALL
+fi
+
 cargo run --release --example engine_race -- "$@"

@@ -14,4 +14,5 @@ pub use tlp_prefetch as prefetch;
 pub use tlp_rl as rl;
 pub use tlp_serve as serve;
 pub use tlp_sim as sim;
+pub use tlp_timeline as timeline;
 pub use tlp_trace as trace;

@@ -12,7 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System as SysAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tlp::sim::engine::{CoreSetup, System};
-use tlp::sim::SystemConfig;
+use tlp::sim::{SystemConfig, TimelineConfig};
 use tlp::trace::{Reg, TraceRecord, VecTrace};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -69,6 +69,10 @@ fn steady_state_tick_never_allocates() {
     // whole hierarchy (MSHRs, DRAM queues, retry paths) busy.
     let cfg = SystemConfig::test_tiny(1);
     let mut sys = System::new(cfg, vec![CoreSetup::new(Box::new(cyclic_trace(400_000)))]);
+    // Timeline telemetry rides the hot path (window sampling, journey
+    // stamps) out of preallocated recorder storage — it must hold the
+    // same zero-alloc bar as the engine itself.
+    sys.enable_timeline(TimelineConfig::default());
     // Warm every pool: scratch buffers, queue capacities, waiter
     // freelists, page-table mappings for the two touched pages.
     for _ in 0..40_000 {
