@@ -76,7 +76,7 @@ pub fn run(h: &Harness) -> ExperimentResult {
 /// One epoch: a fresh system (same wiring as [`Scheme::AthenaRl`]) around
 /// the persistent agent.
 fn run_epoch(h: &Harness, w: &Arc<dyn Workload>, agent: &SharedAgent) -> SimReport {
-    let setup = Scheme::athena_rl_setup(Box::new(h.trace_for(w)), L1Pf::Ipcp, agent.clone());
+    let setup = Scheme::athena_rl_setup(h.trace_for(w), L1Pf::Ipcp, agent.clone());
     let mut sys =
         System::new(SystemConfig::cascade_lake(1), vec![setup]).with_engine_mode(h.rc.engine);
     sys.run(h.rc.warmup, h.rc.instructions)

@@ -28,11 +28,13 @@ pub mod runner;
 pub mod scheme;
 pub mod session;
 pub mod timeline;
+pub mod tracetier;
 
 pub use cache::{EngineStats, RunKey};
 pub use plugins::builtin_registry;
-pub use runner::{Harness, RunCell, RunConfig};
+pub use runner::{Harness, RunCell, RunConfig, SimPointRun};
 pub use scheme::{L1Pf, Scheme, TlpParams};
 pub use session::{scheme_result, Session, SessionError};
 pub use timeline::TimelineRun;
 pub use tlp_sim::{EngineMode, TimelineConfig};
+pub use tracetier::TraceTierStats;

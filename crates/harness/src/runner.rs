@@ -10,20 +10,27 @@
 //! [`Harness::run_mix`], ...), so results are bit-identical regardless of
 //! thread count or cache state.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 use tlp_plugin::{BuildCtx, ResolvedScheme};
 use tlp_sim::engine::{CoreSetup, System};
 use tlp_sim::{EngineMode, SimReport, SystemConfig, Timeline, TimelineConfig};
 use tlp_trace::catalog::{self, Scale};
 use tlp_trace::emit::Workload;
-use tlp_trace::{TraceRecord, VecTrace};
+use tlp_trace::simpoint::{simpoints_of, BbvConfig, SimPoint};
+use tlp_trace::{TraceRecord, TraceSource, VecTrace};
+use tlp_tracestore::{
+    capture_desc, TraceKey, TraceLoad, TraceReader, TraceStore, TraceWorkload, CAPTURE_SIMPOINT_K,
+    CAPTURE_SIMPOINT_SEED, TRACE_NAMESPACE,
+};
 
 use crate::cache::{self, DiskCache, EngineStats, ResultCache, RunKey};
 use crate::scheme::{L1Pf, ResolvedL1Pf, Scheme};
+use crate::tracetier::{TraceTier, TraceTierCounters, TraceTierStats, DEFAULT_TRACE_MEM_CAP};
 
 /// Simulation budgets and scale for a harness session.
 #[derive(Debug, Clone, Copy)]
@@ -174,12 +181,34 @@ impl std::fmt::Debug for RunCell {
     }
 }
 
+/// Result of a SimPoint-sampled run ([`Harness::run_simpoints`]): the
+/// replayed regions (weights renormalized over the chosen `k`), their
+/// individual reports, and the reconstituted full-run estimate.
+#[derive(Debug, Clone)]
+pub struct SimPointRun {
+    /// Workload the estimate is for.
+    pub workload: String,
+    /// BBV interval length (instructions per region).
+    pub interval: usize,
+    /// The replayed SimPoints, by decreasing weight; weights sum to 1.
+    pub regions: Vec<SimPoint>,
+    /// One report per region, same order as `regions`.
+    pub region_reports: Vec<SimReport>,
+    /// The weighted full-run estimate.
+    pub estimate: SimReport,
+}
+
 /// The harness: cached traces, the two-tier result cache, and run helpers.
 pub struct Harness {
     /// The active run configuration.
     pub rc: RunConfig,
     workloads: Vec<Arc<dyn Workload>>,
-    traces: RwLock<HashMap<String, Arc<Vec<TraceRecord>>>>,
+    traces: Mutex<TraceTier>,
+    trace_store: Option<Arc<TraceStore>>,
+    /// Explicit memory-tier cap; `None` = unbounded without a store,
+    /// [`DEFAULT_TRACE_MEM_CAP`] with one.
+    trace_mem_cap: Option<usize>,
+    tstats: TraceTierCounters,
     cache: ResultCache,
 }
 
@@ -200,7 +229,10 @@ impl Harness {
         Self {
             rc,
             workloads: catalog::single_core_set(rc.scale),
-            traces: RwLock::new(HashMap::new()),
+            traces: Mutex::new(TraceTier::default()),
+            trace_store: None,
+            trace_mem_cap: None,
+            tstats: TraceTierCounters::default(),
             cache: ResultCache::in_memory(),
         }
     }
@@ -222,6 +254,70 @@ impl Harness {
     pub fn with_disk_cache(mut self, disk: DiskCache) -> Self {
         self.cache = ResultCache::with_disk(disk);
         self
+    }
+
+    /// Adds the content-addressed on-disk trace store under `dir`
+    /// (created if absent): fresh captures are persisted as TLPT v2 and
+    /// later resolutions — in this process or a cold one — stream the
+    /// stored file back instead of re-capturing. Also caps the in-memory
+    /// trace tier at [`DEFAULT_TRACE_MEM_CAP`] workloads unless
+    /// [`Harness::with_trace_mem_cap`] says otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.trace_store = Some(Arc::new(TraceStore::open(dir)?));
+        Ok(self)
+    }
+
+    /// Shares an already-open trace store (e.g. the serve daemon's single
+    /// store across sessions).
+    #[must_use]
+    pub fn with_trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.trace_store = Some(store);
+        self
+    }
+
+    /// Caps the in-memory trace tier at `cap` workloads (LRU eviction;
+    /// entries not yet persisted to the store stay pinned regardless).
+    #[must_use]
+    pub fn with_trace_mem_cap(mut self, cap: usize) -> Self {
+        self.trace_mem_cap = Some(cap.max(1));
+        self
+    }
+
+    /// The configured trace store, when one backs this harness.
+    #[must_use]
+    pub fn trace_store(&self) -> Option<&Arc<TraceStore>> {
+        self.trace_store.as_ref()
+    }
+
+    /// Snapshot of the trace-tier counters (captures, per-tier hits,
+    /// evictions, corrupt store files, resident entries).
+    #[must_use]
+    pub fn trace_stats(&self) -> TraceTierStats {
+        let corrupt = self.trace_store.as_ref().map_or(0, |s| s.corrupt_count());
+        let resident = self.traces.lock().len() as u64;
+        self.tstats.snapshot(corrupt, resident)
+    }
+
+    /// Resolves a `trace:NAME` workload against the store's imports.
+    /// Returns `None` when the name lacks the prefix, no store is
+    /// configured, the import doesn't exist, or its file fails
+    /// validation.
+    #[must_use]
+    pub fn trace_workload(&self, name: &str) -> Option<Arc<dyn Workload>> {
+        let short = name.strip_prefix(TRACE_NAMESPACE)?;
+        let store = self.trace_store.as_ref()?;
+        let path = store.import_path(short);
+        if !path.exists() {
+            return None;
+        }
+        TraceWorkload::open(short, path)
+            .ok()
+            .map(|w| Arc::new(w) as Arc<dyn Workload>)
     }
 
     /// Snapshot of the run-engine counters (requests, hits per tier,
@@ -299,31 +395,116 @@ impl Harness {
             .collect()
     }
 
-    /// Captured (and cached) trace for a workload, long enough for the
-    /// configured warmup + measurement.
+    /// The trace for a workload, long enough for the configured warmup +
+    /// measurement, resolved memory → disk → capture:
+    ///
+    /// 1. A `trace:` workload ([`Workload::trace_path`]) streams its
+    ///    backing file directly — nothing to capture, nothing to cache.
+    /// 2. The in-memory tier shares the captured records zero-copy.
+    /// 3. The on-disk store (when configured) streams the stored TLPT v2
+    ///    file — replay never materializes the records, and a warm trace
+    ///    dir makes cold-process runs capture nothing.
+    /// 4. Otherwise the workload is captured (and persisted to the store
+    ///    when one is configured).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `trace:` workload's backing file disappears or fails
+    /// validation after [`Harness::trace_workload`] vetted it.
     #[must_use]
-    pub fn trace_for(&self, w: &Arc<dyn Workload>) -> VecTrace {
+    pub fn trace_for(&self, w: &Arc<dyn Workload>) -> Box<dyn TraceSource> {
+        if let Some(path) = w.trace_path() {
+            let t = TraceReader::open(path).unwrap_or_else(|e| {
+                panic!(
+                    "trace workload '{}': cannot open {}: {e}",
+                    w.name(),
+                    path.display()
+                )
+            });
+            self.tstats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Box::new(t);
+        }
+        let name = w.name();
+        {
+            let mut tier = self.traces.lock();
+            if let Some(recs) = tier.touch(name) {
+                self.tstats.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Box::new(VecTrace::looping_shared(name.to_owned(), recs));
+            }
+        }
+        if let Some(store) = &self.trace_store {
+            if let Some(t) = tlp_tracestore::store::open_if_present(store, self.capture_key(name)) {
+                self.tstats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Box::new(t);
+            }
+        }
+        let recs = self.capture_records(w);
+        Box::new(VecTrace::looping_shared(name.to_owned(), recs))
+    }
+
+    /// Capture budget in records: enough for warmup + measurement with
+    /// slack for the frontend pipeline to stay fed at the end.
+    fn trace_budget(&self) -> usize {
+        (self.rc.warmup + self.rc.instructions) as usize + 4096
+    }
+
+    /// The store key of this harness's capture of `name` — workload,
+    /// capture environment, and budget all feed the content address.
+    fn capture_key(&self, name: &str) -> TraceKey {
+        TraceKey::from_desc(&capture_desc(&self.env_desc(), name, self.trace_budget()))
+    }
+
+    /// Captures a workload's records, single-flighted under the tier
+    /// lock. `generate` advances a per-workload pass counter that seeds
+    /// the generator, so two workers capturing the same workload
+    /// concurrently (cold cache, several schemes of one workload in
+    /// flight) would interleave passes and record *different* traces —
+    /// nondeterminism that leaks straight into reports. Single-flighting
+    /// the capture keeps the pass sequence, and therefore every report,
+    /// identical to a serial run.
+    ///
+    /// When a store is configured the capture is persisted (with its
+    /// capture-time SimPoints in the footer); only then may the memory
+    /// entry ever be evicted — see [`crate::tracetier`].
+    fn capture_records(&self, w: &Arc<dyn Workload>) -> Arc<Vec<TraceRecord>> {
         let name = w.name().to_owned();
-        if let Some(recs) = self.traces.read().get(&name) {
-            return VecTrace::looping(name, recs.as_ref().clone());
+        let mut tier = self.traces.lock();
+        if let Some(recs) = tier.touch(&name) {
+            self.tstats.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return recs;
         }
-        // Capture under the write lock, re-checking first. `generate`
-        // advances a per-workload pass counter that seeds the generator,
-        // so two workers capturing the same workload concurrently (cold
-        // cache, several schemes of one workload in flight) interleave
-        // passes and record *different* traces — nondeterminism that
-        // leaks straight into reports. Single-flighting the capture
-        // keeps the pass sequence, and therefore every report, identical
-        // to a serial run.
-        let mut traces = self.traces.write();
-        if let Some(recs) = traces.get(&name) {
-            return VecTrace::looping(name, recs.as_ref().clone());
+        let recs = Arc::new(tlp_trace::source::capture(w.as_ref(), self.trace_budget()));
+        self.tstats.captures.fetch_add(1, Ordering::Relaxed);
+        let mut evictable = false;
+        if let Some(store) = &self.trace_store {
+            let cfg = BbvConfig::standard();
+            let sps = simpoints_of(&recs, cfg, CAPTURE_SIMPOINT_K, CAPTURE_SIMPOINT_SEED);
+            evictable = store
+                .save(
+                    self.capture_key(&name),
+                    &name,
+                    true,
+                    &recs,
+                    &sps,
+                    cfg.interval,
+                )
+                .is_ok();
         }
-        let budget = (self.rc.warmup + self.rc.instructions) as usize + 4096;
-        let recs = Arc::new(tlp_trace::source::capture(w.as_ref(), budget));
-        traces.insert(name.clone(), Arc::clone(&recs));
-        drop(traces);
-        VecTrace::looping(name, recs.as_ref().clone())
+        tier.insert(name, Arc::clone(&recs), evictable);
+        let evicted = tier.evict_to(self.effective_trace_cap());
+        if evicted > 0 {
+            self.tstats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        recs
+    }
+
+    /// The memory tier's effective entry cap.
+    fn effective_trace_cap(&self) -> usize {
+        self.trace_mem_cap.unwrap_or(if self.trace_store.is_some() {
+            DEFAULT_TRACE_MEM_CAP
+        } else {
+            usize::MAX
+        })
     }
 
     /// The run-budget fragment of every cell description: anything here
@@ -459,9 +640,14 @@ impl Harness {
     /// simulates, its names were valid — only a parameter a factory
     /// rejects at build time can still fail, and that aborts the run
     /// loudly with the scheme named.
-    fn assemble(&self, scheme: &ResolvedScheme, l1pf: &ResolvedL1Pf, trace: VecTrace) -> CoreSetup {
+    fn assemble(
+        &self,
+        scheme: &ResolvedScheme,
+        l1pf: &ResolvedL1Pf,
+        trace: Box<dyn TraceSource>,
+    ) -> CoreSetup {
         scheme
-            .build_setup(Box::new(trace), Some(l1pf), &mut BuildCtx::new())
+            .build_setup(trace, Some(l1pf), &mut BuildCtx::new())
             .unwrap_or_else(|e| panic!("cannot assemble scheme '{}': {e}", scheme.name))
     }
 
@@ -576,6 +762,138 @@ impl Harness {
             _ => unreachable!("cell_single always builds CellKind::Single"),
         };
         self.cache.insert_timeline(key, timeline)
+    }
+
+    /// Records plus SimPoints for a workload, resolving through the same
+    /// memory → disk → capture tiers as [`Harness::trace_for`] but
+    /// materializing the records (SimPoint replay slices them). SimPoints
+    /// come from a stored footer when one exists; computing them fresh
+    /// yields the identical set — captures are deterministic per fresh
+    /// process and the k-means seed is fixed — so either path agrees.
+    fn records_and_simpoints(
+        &self,
+        w: &Arc<dyn Workload>,
+    ) -> (Arc<Vec<TraceRecord>>, Vec<SimPoint>) {
+        let cfg = BbvConfig::standard();
+        let compute = |recs: &[TraceRecord]| {
+            simpoints_of(recs, cfg, CAPTURE_SIMPOINT_K, CAPTURE_SIMPOINT_SEED)
+        };
+        if let Some(path) = w.trace_path() {
+            let mut reader = TraceReader::open(path).unwrap_or_else(|e| {
+                panic!(
+                    "trace workload '{}': cannot open {}: {e}",
+                    w.name(),
+                    path.display()
+                )
+            });
+            self.tstats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let sps = reader.simpoints().to_vec();
+            let n = reader.total_records();
+            let recs: Vec<TraceRecord> = (0..n)
+                .map(|_| reader.next_record().expect("validated trace decodes fully"))
+                .collect();
+            let sps = if sps.is_empty() { compute(&recs) } else { sps };
+            return (Arc::new(recs), sps);
+        }
+        {
+            let mut tier = self.traces.lock();
+            if let Some(recs) = tier.touch(w.name()) {
+                self.tstats.mem_hits.fetch_add(1, Ordering::Relaxed);
+                drop(tier);
+                let sps = compute(&recs);
+                return (recs, sps);
+            }
+        }
+        if let Some(store) = &self.trace_store {
+            if let TraceLoad::Hit(mut t) = store.open_trace(self.capture_key(w.name())) {
+                self.tstats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let sps = t.simpoints().to_vec();
+                let recs = t.read_records();
+                let sps = if sps.is_empty() { compute(&recs) } else { sps };
+                return (Arc::new(recs), sps);
+            }
+        }
+        let recs = self.capture_records(w);
+        let sps = compute(&recs);
+        (recs, sps)
+    }
+
+    /// Runs a SimPoint-sampled estimate of one single-core cell (paper
+    /// methodology: simulate the representative regions, blend by cluster
+    /// weight) — see [`Harness::run_simpoints_spec`].
+    #[must_use]
+    pub fn run_simpoints(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Scheme,
+        l1pf: L1Pf,
+        k: usize,
+    ) -> SimPointRun {
+        self.run_simpoints_spec(w, scheme.resolve(), l1pf.resolve(), k)
+    }
+
+    /// SimPoint-sampled single-core run: replays the top-`k` SimPoint
+    /// regions of the workload's trace (each one BBV interval long) and
+    /// reconstitutes a full-run estimate by weighted merge, with region
+    /// weights renormalized over the chosen `k` and scaled to full-run
+    /// units. Region runs are uncached (they are a fraction of a full
+    /// cell's cost) and run on the configured worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the trace is shorter than one SimPoint
+    /// interval.
+    #[must_use]
+    pub fn run_simpoints_spec(
+        &self,
+        w: &Arc<dyn Workload>,
+        scheme: Arc<ResolvedScheme>,
+        l1pf: Arc<ResolvedL1Pf>,
+        k: usize,
+    ) -> SimPointRun {
+        assert!(k > 0, "need at least one SimPoint region");
+        let cfg = BbvConfig::standard();
+        let (recs, mut sps) = self.records_and_simpoints(w);
+        assert!(
+            !sps.is_empty(),
+            "trace of {} records is shorter than one SimPoint interval ({})",
+            recs.len(),
+            cfg.interval
+        );
+        sps.truncate(k);
+        let total: f64 = sps.iter().map(|p| p.weight).sum();
+        for p in &mut sps {
+            p.weight /= total;
+        }
+        // Each region replays one interval: proportionally scaled warmup,
+        // then measure at most one interval's worth of instructions.
+        let measure = (cfg.interval as u64).min(self.rc.instructions).max(1);
+        let warm = (cfg.interval as u64 / 4).min(self.rc.warmup);
+        let region_reports = self.parallel_map_labeled(
+            sps.clone(),
+            |p, _| format!("{}@sp{}", w.name(), p.interval),
+            |p| {
+                let start = p.interval * cfg.interval;
+                let end = (start + cfg.interval).min(recs.len());
+                let region = recs[start..end].to_vec();
+                let trace = VecTrace::looping(format!("{}@sp{}", w.name(), p.interval), region);
+                let setup = self.assemble(&scheme, &l1pf, Box::new(trace));
+                System::new(SystemConfig::cascade_lake(1), vec![setup])
+                    .with_engine_mode(self.rc.engine)
+                    .run(warm, measure)
+            },
+        );
+        // Scale weights so the estimate lands in full-run units.
+        let scale = self.rc.instructions as f64 / measure as f64;
+        let weights: Vec<f64> = sps.iter().map(|p| p.weight * scale).collect();
+        let estimate = tlp_tracestore::weighted_merge(&region_reports, &weights);
+        SimPointRun {
+            workload: w.name().to_owned(),
+            interval: cfg.interval,
+            regions: sps,
+            region_reports,
+            estimate,
+        }
     }
 
     /// Runs one cell through the cache: hit in a tier, or simulate and
@@ -962,7 +1280,6 @@ mod tests {
         let w = &h.workloads()[0].clone();
         let mut a = h.trace_for(w);
         let mut b = h.trace_for(w);
-        use tlp_trace::TraceSource;
         for _ in 0..100 {
             assert_eq!(a.next_record(), b.next_record());
         }

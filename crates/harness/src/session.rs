@@ -114,6 +114,19 @@ impl Session {
         self
     }
 
+    /// Adds the content-addressed on-disk trace store under `dir` (see
+    /// [`Harness::with_trace_dir`]): captures persist as TLPT v2 files
+    /// and later runs stream them back instead of re-capturing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.harness = self.harness.with_trace_dir(dir)?;
+        Ok(self)
+    }
+
     /// The session's registry (for lookups and listings).
     #[must_use]
     pub fn registry(&self) -> &ComponentRegistry {
@@ -177,6 +190,16 @@ impl Session {
     ///
     /// Returns [`SessionError::UnknownWorkload`] with suggestions.
     pub fn workload(&self, name: &str) -> Result<Arc<dyn Workload>, SessionError> {
+        // `trace:NAME` resolves against the trace store's imports, not
+        // the generated catalog.
+        if name.starts_with(tlp_tracestore::TRACE_NAMESPACE) {
+            return self.harness.trace_workload(name).ok_or_else(|| {
+                SessionError::UnknownWorkload {
+                    name: name.to_owned(),
+                    did_you_mean: Vec::new(),
+                }
+            });
+        }
         self.harness
             .workloads()
             .iter()
@@ -189,6 +212,26 @@ impl Session {
                     self.harness.workloads().iter().map(|w| w.name()),
                 ),
             })
+    }
+
+    /// SimPoint-sampled estimate of one spec on one workload: replays the
+    /// top-`k` SimPoint regions and reconstitutes a full-run estimate
+    /// (see [`Harness::run_simpoints_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and workload-lookup errors.
+    pub fn run_simpoints(
+        &self,
+        workload: &str,
+        spec: &SchemeSpec,
+        l1pf: &str,
+        k: usize,
+    ) -> Result<crate::runner::SimPointRun, SessionError> {
+        let w = self.workload(workload)?;
+        let scheme = self.resolve_spec(spec)?;
+        let pf = self.resolve_l1pf_name(l1pf)?;
+        Ok(self.harness.run_simpoints_spec(&w, scheme, pf, k))
     }
 
     /// Runs one spec on one workload (planned through the run engine, so

@@ -78,6 +78,11 @@ fn main() {
     let mut timeline_path: Option<std::path::PathBuf> = None;
     let mut check_timeline: Option<std::path::PathBuf> = None;
     let mut want_stats = false;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut import_traces: Vec<String> = Vec::new();
+    let mut trace_info_args: Vec<String> = Vec::new();
+    let mut workload_names: Vec<String> = Vec::new();
+    let mut simpoints_k: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -196,6 +201,41 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-dir" => match it.next() {
+                Some(dir) => trace_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--trace-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--import-trace" => match it.next() {
+                Some(spec) => import_traces.push(spec.clone()),
+                None => {
+                    eprintln!("--import-trace requires FILE[:NAME] (a ChampSim trace file)");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-info" => match it.next() {
+                Some(arg) => trace_info_args.push(arg.clone()),
+                None => {
+                    eprintln!("--trace-info requires a trace file path or trace:NAME");
+                    std::process::exit(2);
+                }
+            },
+            "--workload" => match it.next() {
+                Some(name) => workload_names.push(name.clone()),
+                None => {
+                    eprintln!("--workload requires a workload name (catalog or trace:NAME)");
+                    std::process::exit(2);
+                }
+            },
+            "--simpoints" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(k) if k >= 1 => simpoints_k = Some(k),
+                _ => {
+                    eprintln!("--simpoints requires a region count >= 1");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(dir.into()),
                 None => {
@@ -224,6 +264,15 @@ fn main() {
                      --chart also prints each result's first column as an ASCII bar chart\n\
                      --scheme NAME sweeps one registered scheme over the active workloads (repeatable)\n\
                      --l1pf NAME picks the L1D prefetcher for --scheme sweeps (default: ipcp)\n\
+                     --workload NAME restricts --scheme runs to named workloads (repeatable; \
+                     accepts trace:NAME imports)\n\
+                     --trace-dir DIR persists captured workload traces (TLPT v2); a warm dir \
+                     streams them back with zero captures (see the `# trace-store:` line)\n\
+                     --import-trace FILE[:NAME] imports a ChampSim trace into the store as \
+                     trace:NAME (default NAME: the file stem; requires --trace-dir)\n\
+                     --trace-info PATH|trace:NAME prints a stored trace's format summary and exits\n\
+                     --simpoints K runs --scheme cells as SimPoint estimates: replay the top-K \
+                     regions, reconstitute the full-run report by cluster weight\n\
                      --list-schemes / --list-prefetchers / --list-components print the composition registry\n\
                      (--list-components covers all five seams: off-chip predictors, prefetchers, filters)\n\
                      --profile FILE.json writes the observability artifact after a local run\n\
@@ -321,12 +370,37 @@ fn main() {
         }
         std::process::exit(2);
     }
+    if connect_addr.is_some()
+        && (trace_dir.is_some()
+            || !import_traces.is_empty()
+            || !trace_info_args.is_empty()
+            || simpoints_k.is_some())
+    {
+        eprintln!(
+            "--trace-dir/--import-trace/--trace-info/--simpoints run locally; drop --connect"
+        );
+        std::process::exit(2);
+    }
+    if !import_traces.is_empty() && trace_dir.is_none() {
+        eprintln!("--import-trace writes into the trace store; add --trace-dir DIR");
+        std::process::exit(2);
+    }
+    if simpoints_k.is_some() && schemes.is_empty() {
+        eprintln!("--simpoints applies to --scheme runs; add --scheme NAME");
+        std::process::exit(2);
+    }
+    if !workload_names.is_empty() && schemes.is_empty() {
+        eprintln!("--workload restricts --scheme runs; add --scheme NAME");
+        std::process::exit(2);
+    }
     if requested.iter().any(|r| r == "all")
         || (requested.is_empty()
             && schemes.is_empty()
             && serve_addr.is_none()
             && connect_addr.is_none()
-            && timeline_path.is_none())
+            && timeline_path.is_none()
+            && import_traces.is_empty()
+            && trace_info_args.is_empty())
     {
         requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
         requested.push("table45".into());
@@ -347,6 +421,102 @@ fn main() {
                 std::process::exit(1);
             }
         };
+    }
+    if let Some(dir) = &trace_dir {
+        session = match session.with_trace_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open trace dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+    }
+    // ChampSim imports land in the trace store before anything simulates,
+    // so `--import-trace f.champsim --scheme tlp --workload trace:f` works
+    // in one invocation.
+    for spec in &import_traces {
+        let (file, name) = match spec.rsplit_once(':') {
+            Some((f, n)) if !n.is_empty() && !n.contains('/') && !f.is_empty() => {
+                (f.to_owned(), n.to_owned())
+            }
+            _ => {
+                let stem = std::path::Path::new(spec)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                (spec.clone(), stem)
+            }
+        };
+        if name.is_empty() {
+            eprintln!("--import-trace {spec}: cannot derive a name; use FILE:NAME");
+            std::process::exit(2);
+        }
+        let store = session
+            .harness()
+            .trace_store()
+            .expect("--trace-dir validated above")
+            .clone();
+        let recs = match tlp_tracestore::read_champsim(std::path::Path::new(&file)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--import-trace {file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match store.import(&name, &recs) {
+            Ok(path) => {
+                let ratio = tlp_tracestore::trace_info(&path)
+                    .map(|i| i.compression_ratio())
+                    .unwrap_or(0.0);
+                println!(
+                    "# imported {file} -> trace:{name} ({} records, {ratio:.1}x vs v1)",
+                    recs.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("--import-trace {file}: cannot store: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // `--trace-info` is a query verb like the --list-* flags: print and
+    // exit (after imports, so an import can be inspected in one call).
+    if !trace_info_args.is_empty() {
+        for arg in &trace_info_args {
+            let path = if let Some(short) = arg.strip_prefix("trace:") {
+                match session.harness().trace_store() {
+                    Some(store) => store.import_path(short),
+                    None => {
+                        eprintln!("--trace-info {arg}: names need --trace-dir DIR");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                std::path::PathBuf::from(arg)
+            };
+            match tlp_tracestore::trace_info(&path) {
+                Ok(i) => {
+                    println!(
+                        "{arg}: TLPT v{} '{}' {} records, {} blocks, {} bytes \
+                         ({:.1}x vs v1), {} simpoints (interval {}){}",
+                        i.version,
+                        i.name,
+                        i.records,
+                        i.blocks,
+                        i.file_bytes,
+                        i.compression_ratio(),
+                        i.simpoints.len(),
+                        i.bbv_interval,
+                        if i.looping { ", looping" } else { "" },
+                    );
+                }
+                Err(e) => {
+                    eprintln!("--trace-info {arg}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
     }
     // Validate scheme/prefetcher names before simulating anything: an
     // unknown name exits 2 with a did-you-mean list, exactly like an
@@ -447,7 +617,7 @@ fn main() {
             let req = SweepRequest {
                 scheme: name.clone(),
                 l1pf: l1pf_name.clone(),
-                workloads: vec![],
+                workloads: workload_names.clone(),
             };
             let reply = match client.sweep(&req) {
                 Ok(r) => r,
@@ -551,11 +721,56 @@ fn main() {
             .scheme(name)
             .expect("validated above")
             .clone();
-        let table = match session.scheme_table(&spec, &l1pf_name) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("--scheme {name}: {e}");
-                std::process::exit(1);
+        // --simpoints K: each cell becomes a SimPoint estimate (replay
+        // the top-K regions, blend by cluster weight). --workload
+        // restricts either mode to named workloads, including trace:
+        // imports.
+        let table = if let Some(k) = simpoints_k {
+            let targets: Vec<String> = if workload_names.is_empty() {
+                h.active_workloads()
+                    .iter()
+                    .map(|w| w.name().to_owned())
+                    .collect()
+            } else {
+                workload_names.clone()
+            };
+            let mut rows = Vec::new();
+            for wname in &targets {
+                match session.run_simpoints(wname, &spec, &l1pf_name, k) {
+                    Ok(run) => {
+                        eprintln!(
+                            "# simpoints: {wname} replayed {} regions of {} instructions",
+                            run.regions.len(),
+                            run.interval
+                        );
+                        rows.push((wname.clone(), run.estimate));
+                    }
+                    Err(e) => {
+                        eprintln!("--scheme {name} --simpoints {k}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            tlp_harness::scheme_result(name, &l1pf_name, &rows)
+        } else if !workload_names.is_empty() {
+            let mut rows = Vec::new();
+            for wname in &workload_names {
+                match session.run_single(wname, &spec, &l1pf_name) {
+                    Ok(r) => rows.push((wname.clone(), r)),
+                    Err(e) => {
+                        eprintln!("--scheme {name} --workload {wname}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            tlp_harness::scheme_result(name, &l1pf_name, &rows)
+        } else {
+            match session.scheme_table(&spec, &l1pf_name) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("--scheme {name}: {e}");
+                    std::process::exit(1);
+                }
             }
         };
         emit_results(&format!("scheme {name}"), vec![table], t0);
@@ -569,6 +784,15 @@ fn main() {
         rc.engine,
         session.engine_stats().summary_line()
     );
+    // The trace-store summary (CI's trace-store job asserts on it: a
+    // warm --trace-dir run must report captures=0).
+    if trace_dir.is_some() {
+        let ts = session.harness().trace_stats();
+        println!(
+            "# trace-store: captures={} mem_hits={} disk_hits={} evictions={} corrupt={} resident={}",
+            ts.captures, ts.mem_hits, ts.disk_hits, ts.evictions, ts.corrupt, ts.resident
+        );
+    }
     // Local telemetry capture: instrumented re-simulations through the
     // timeline blob cache (never through the run engine, so the summary
     // line above and the profile counters below are unaffected).

@@ -26,6 +26,7 @@ fn main() {
     let mut engine: Option<tlp_sim::EngineMode> = None;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_cap_mb: Option<u64> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,14 +72,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-dir" => match it.next() {
+                Some(dir) => trace_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--trace-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "tlp-serve [--addr HOST:PORT] [--test|--quick|--full] [--engine cycle|event] [--jobs N] [--cache-dir DIR [--cache-cap-mb MB]]\n\
+                    "tlp-serve [--addr HOST:PORT] [--test|--quick|--full] [--engine cycle|event] [--jobs N] [--cache-dir DIR [--cache-cap-mb MB]] [--trace-dir DIR]\n\
                      --addr HOST:PORT binds the service (default: 127.0.0.1:7457; port 0 = ephemeral)\n\
                      --engine selects the time-advance strategy (default: cycle)\n\
                      --jobs N sets the per-request worker count (default: all cores)\n\
                      --cache-dir DIR adds the shared on-disk tier (safe for concurrent daemons)\n\
-                     --cache-cap-mb MB caps the disk tier; oldest entries are evicted LRU"
+                     --cache-cap-mb MB caps the disk tier; oldest entries are evicted LRU\n\
+                     --trace-dir DIR persists captured workload traces (TLPT v2), shared by every \
+                     client session; imported trace:NAME workloads resolve against it"
                 );
                 return;
             }
@@ -112,6 +122,15 @@ fn main() {
             None => disk,
         };
         session = session.with_disk_cache(disk);
+    }
+    if let Some(dir) = &trace_dir {
+        session = match session.with_trace_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open trace dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
     }
     let server = match Server::bind(&addr, session) {
         Ok(s) => s,

@@ -38,6 +38,15 @@ pub trait Workload: Send + Sync {
 
     /// Runs one pass, pushing records into `sink`.
     fn generate(&self, sink: &mut dyn TraceSink);
+
+    /// For workloads backed by an on-disk trace file (the `trace:` plugin
+    /// namespace), the path to stream records from instead of generating.
+    ///
+    /// Generator-backed catalog workloads return `None` (the default); the
+    /// harness then captures via [`generate`](Self::generate) as usual.
+    fn trace_path(&self) -> Option<&std::path::Path> {
+        None
+    }
 }
 
 /// Convenience wrapper every generator uses to emit records.

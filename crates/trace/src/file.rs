@@ -163,6 +163,12 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<TraceFile, ReadTraceError> {
         let r = TraceRecord::decode(&mut buf).ok_or(ReadTraceError::Corrupt("invalid record"))?;
         records.push(r);
     }
+    // A well-formed file ends exactly at the last record. Bytes past it mean
+    // the count header disagrees with the payload (an under-stated count
+    // would otherwise silently truncate the trace).
+    if buf.remaining() > 0 {
+        return Err(ReadTraceError::Corrupt("trailing bytes after records"));
+    }
     Ok(TraceFile {
         name,
         looping: flags & FLAG_LOOPING != 0,
@@ -322,6 +328,57 @@ mod tests {
             assert!(
                 decode_trace(&bytes[..cut]).is_err(),
                 "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_overcounted_header() {
+        // A count header larger than the payload must be Corrupt, never a
+        // short read that silently truncates the trace.
+        let recs = sample_records();
+        let mut bytes = encode_trace("x", false, &recs).to_vec();
+        let inflated = (recs.len() as u64 + 1).to_le_bytes();
+        bytes[8..16].copy_from_slice(&inflated);
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::Corrupt("truncated records"))
+        ));
+        // Wildly over-stated counts (count * 29 overflows) are caught too.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::Corrupt("record count overflow"))
+        ));
+    }
+
+    #[test]
+    fn rejects_undercounted_header() {
+        // An under-stated count leaves trailing bytes; the reader must not
+        // silently drop records.
+        let recs = sample_records();
+        let mut bytes = encode_trace("x", false, &recs).to_vec();
+        let deflated = (recs.len() as u64 - 1).to_le_bytes();
+        bytes[8..16].copy_from_slice(&deflated);
+        assert!(matches!(
+            decode_trace(&bytes[..]),
+            Err(ReadTraceError::Corrupt("trailing bytes after records"))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_record_payload() {
+        // Cut mid-record (not just mid-header): every cut point inside the
+        // record area must surface as Corrupt.
+        let bytes = encode_trace("w", false, &sample_records());
+        let records_start = 18 + 1; // header + 1-byte name
+        for cut in records_start..bytes.len() {
+            assert!(
+                matches!(
+                    decode_trace(&bytes[..cut]),
+                    Err(ReadTraceError::Corrupt("truncated records"))
+                ),
+                "cut at {cut} must report truncated records"
             );
         }
     }

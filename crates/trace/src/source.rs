@@ -83,6 +83,25 @@ impl VecTrace {
         t
     }
 
+    /// Loops over records already shared behind an `Arc`, without copying.
+    ///
+    /// The harness trace tier hands every core the same captured buffer;
+    /// this constructor keeps that hand-off allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    #[must_use]
+    pub fn looping_shared(name: impl Into<String>, records: Arc<Vec<TraceRecord>>) -> Self {
+        assert!(!records.is_empty(), "empty trace");
+        Self {
+            name: name.into(),
+            records,
+            pos: 0,
+            looping: true,
+        }
+    }
+
     /// Captures `budget` records from `workload` into a looping trace.
     #[must_use]
     pub fn from_workload(workload: &dyn Workload, budget: usize) -> Self {

@@ -30,7 +30,12 @@ use tlp::harness::{L1Pf, Scheme};
 use tlp::sim::engine::System;
 use tlp::sim::{EngineMode, SimReport, SystemConfig};
 use tlp::trace::catalog::{self, Scale};
-use tlp::trace::VecTrace;
+use tlp::trace::simpoint::{simpoints_of, BbvConfig};
+use tlp::trace::{capture, TraceSource, VecTrace};
+use tlp::tracestore::{
+    capture_desc, trace_info, StreamTrace, TraceKey, TraceStore, CAPTURE_SIMPOINT_K,
+    CAPTURE_SIMPOINT_SEED,
+};
 
 const WARMUP: u64 = 20_000;
 const INSTRUCTIONS: u64 = 200_000;
@@ -47,6 +52,60 @@ struct Sample {
 impl Sample {
     fn cycles_per_sec(&self) -> f64 {
         self.simulated_cycles as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+struct TraceBench {
+    workload: &'static str,
+    records: usize,
+    cold_capture_s: f64,
+    warm_stream_s: f64,
+    file_bytes: u64,
+    compression_ratio: f64,
+}
+
+/// Times the trace tier on the bench workload: a cold capture (generate
+/// the records, compute capture-time SimPoints, compress, persist)
+/// against a warm store (open the file — every block checksum- and
+/// decode-verified — then stream every record back), plus the on-disk
+/// v1-over-v2 compression ratio. Appended to the trajectory so capture
+/// cost, replay cost, and format density are tracked across commits
+/// alongside the engine timings.
+fn trace_store_bench() -> TraceBench {
+    let wl = "bfs.urand";
+    let budget = (WARMUP + INSTRUCTIONS) as usize + 4096;
+    let dir = std::env::temp_dir().join(format!("tlp-bench-traces-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::open(&dir).expect("open bench trace dir");
+    let key = TraceKey::from_desc(&capture_desc(
+        &format!("{:?}|w{WARMUP}|i{INSTRUCTIONS}", Scale::Quick),
+        wl,
+        budget,
+    ));
+    let w = catalog::workload(wl, Scale::Quick).expect("workload in catalog");
+    let t0 = Instant::now();
+    let recs = capture(w.as_ref(), budget);
+    let cfg = BbvConfig::standard();
+    let sps = simpoints_of(&recs, cfg, CAPTURE_SIMPOINT_K, CAPTURE_SIMPOINT_SEED);
+    let path = store
+        .save(key, wl, true, &recs, &sps, cfg.interval)
+        .expect("save bench trace");
+    let cold_capture_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut stream = StreamTrace::open(&path).expect("open saved trace");
+    for _ in 0..recs.len() {
+        let _ = stream.next_record();
+    }
+    let warm_stream_s = t1.elapsed().as_secs_f64();
+    let info = trace_info(&path).expect("trace info");
+    let _ = std::fs::remove_dir_all(&dir);
+    TraceBench {
+        workload: wl,
+        records: recs.len(),
+        cold_capture_s,
+        warm_stream_s,
+        file_bytes: info.file_bytes,
+        compression_ratio: info.compression_ratio(),
     }
 }
 
@@ -135,7 +194,19 @@ fn main() {
                 .map(|base| (base.wall_s, obs_wall))
         });
 
-    let run = render_run(&stamp(), &samples, obs_overhead);
+    eprintln!("# timing the trace store (cold capture vs warm streamed replay)...");
+    let trace = trace_store_bench();
+    println!(
+        "trace store ({}): cold capture {:.3}s, warm streamed replay {:.3}s, {} records in {} bytes ({:.1}x vs v1)",
+        trace.workload,
+        trace.cold_capture_s,
+        trace.warm_stream_s,
+        trace.records,
+        trace.file_bytes,
+        trace.compression_ratio,
+    );
+
+    let run = render_run(&stamp(), &samples, obs_overhead, &trace);
     for pair in samples.chunks(2) {
         let speedup = pair[0].wall_s / pair[1].wall_s.max(1e-9);
         let skipped =
@@ -203,10 +274,15 @@ fn stamp() -> String {
 }
 
 /// One trajectory entry: stamp, config, per-(workload, mode) results,
-/// the derived speedups, and — when the script supplied the extra
-/// `--features obs` pass — the obs-feature overhead ratio. Indented to
-/// sit inside `"runs": [...]`.
-fn render_run(stamp: &str, samples: &[Sample], obs_overhead: Option<(f64, f64)>) -> String {
+/// the derived speedups, the trace-store timings, and — when the script
+/// supplied the extra `--features obs` pass — the obs-feature overhead
+/// ratio. Indented to sit inside `"runs": [...]`.
+fn render_run(
+    stamp: &str,
+    samples: &[Sample],
+    obs_overhead: Option<(f64, f64)>,
+    trace: &TraceBench,
+) -> String {
     let mut run = String::from("    {\n");
     let _ = writeln!(run, "      \"stamp\": \"{stamp}\",");
     let _ = writeln!(
@@ -241,7 +317,17 @@ fn render_run(stamp: &str, samples: &[Sample], obs_overhead: Option<(f64, f64)>)
             if (i + 1) * 2 < samples.len() { "," } else { "" },
         );
     }
-    run.push_str("      ]");
+    run.push_str("      ],\n");
+    let _ = write!(
+        run,
+        "      \"trace_store\": {{\"workload\": \"{}\", \"records\": {}, \"cold_capture_s\": {:.4}, \"warm_stream_s\": {:.4}, \"file_bytes\": {}, \"compression_v1_over_v2\": {:.2}}}",
+        trace.workload,
+        trace.records,
+        trace.cold_capture_s,
+        trace.warm_stream_s,
+        trace.file_bytes,
+        trace.compression_ratio,
+    );
     if let Some((base_wall, obs_wall)) = obs_overhead {
         let ratio = obs_wall / base_wall.max(1e-9);
         println!(

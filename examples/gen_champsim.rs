@@ -1,0 +1,29 @@
+//! Writes a synthetic ChampSim trace file (the raw 64-byte `input_instr`
+//! layout), for exercising `tlp_repro --import-trace` without shipping
+//! binary fixtures.
+//!
+//! ```text
+//! cargo run --example gen_champsim -- out.champsim [instructions] [seed]
+//! ```
+
+use tlp::tracestore::champsim::{synthetic_champsim, write_champsim};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args.first().map_or("out.champsim", String::as_str);
+    let n: usize = args
+        .get(1)
+        .map_or(Ok(65_536), |v| v.parse())
+        .expect("instructions must be a number");
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(0xC0FFEE), |v| v.parse())
+        .expect("seed must be a number");
+    let instrs = synthetic_champsim(n, seed);
+    write_champsim(path, &instrs).expect("cannot write trace");
+    println!(
+        "# wrote {path}: {} ChampSim instructions ({} bytes)",
+        instrs.len(),
+        instrs.len() * 64
+    );
+}

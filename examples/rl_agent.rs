@@ -47,7 +47,7 @@ fn main() {
     );
     for epoch in 1..=epochs {
         // The same wiring Scheme::AthenaRl uses, around the persistent agent.
-        let setup = Scheme::athena_rl_setup(Box::new(h.trace_for(&w)), L1Pf::Ipcp, agent.clone());
+        let setup = Scheme::athena_rl_setup(h.trace_for(&w), L1Pf::Ipcp, agent.clone());
         let mut sys = System::new(SystemConfig::cascade_lake(1), vec![setup]);
         let r = sys.run(rc.warmup, rc.instructions);
         let oc = &r.cores[0].offchip;

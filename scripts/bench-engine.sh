@@ -4,9 +4,11 @@
 # BENCH_engine.json — the file is a perf trajectory across commits, with
 # per (workload, mode): wall-clock seconds, simulated cycles, executed
 # ticks, and simulated cycles/second — plus the event-over-cycle speedup
-# and the share of idle cycles skipped. A legacy single-run file is
-# wrapped into the trajectory (as a "pre-trajectory" entry), never
-# overwritten.
+# and the share of idle cycles skipped. Each entry also carries a
+# trace_store section: cold-capture vs warm-streamed-replay wall-clock
+# and the TLPT v2 compression ratio on the bench workload. A legacy
+# single-run file is wrapped into the trajectory (as a "pre-trajectory"
+# entry), never overwritten.
 #
 # Usage: scripts/bench-engine.sh [output.json]
 #        scripts/bench-engine.sh --sanity

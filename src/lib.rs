@@ -16,3 +16,4 @@ pub use tlp_serve as serve;
 pub use tlp_sim as sim;
 pub use tlp_timeline as timeline;
 pub use tlp_trace as trace;
+pub use tlp_tracestore as tracestore;

@@ -245,6 +245,77 @@ fn engine_modes_share_the_result_cache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A trace persisted to the store and streamed back block-by-block from
+/// disk must be a pure storage optimization: the replay drives the
+/// simulator to `SimReport`s bit-identical to in-memory capture, across
+/// both engine modes and thread counts, with zero re-captures on the
+/// warm store.
+#[test]
+fn streamed_trace_replay_is_bit_identical_to_in_memory_capture() {
+    let dir = tmp_cache_dir("tracestore");
+    let pairs = [(Scheme::Baseline, L1Pf::Ipcp), (Scheme::Tlp, L1Pf::Ipcp)];
+
+    // Populate the store once: traces are addressed by environment and
+    // workload — not engine mode or thread count — so a single cold pass
+    // serves every configuration below.
+    let cold = Harness::new(rc_with_threads(4))
+        .with_trace_dir(&dir)
+        .expect("trace dir");
+    let cells = cold
+        .active_workloads()
+        .iter()
+        .flat_map(|w| pairs.map(|(s, p)| cold.cell_single(w, s, p, None)))
+        .collect();
+    cold.run_cells(cells);
+    assert!(
+        cold.trace_stats().captures > 0,
+        "cold pass must capture traces"
+    );
+
+    for engine in [EngineMode::Cycle, EngineMode::Event] {
+        for threads in [1, 8] {
+            let mut rc = rc_with_threads(threads);
+            rc.engine = engine;
+            // Reference: plain in-memory capture, no store attached.
+            let mem = Harness::new(rc);
+            // Warm store in a fresh harness: every trace streams from disk.
+            let warm = Harness::new(rc).with_trace_dir(&dir).expect("trace dir");
+            for h in [&mem, &warm] {
+                let cells = h
+                    .active_workloads()
+                    .iter()
+                    .flat_map(|w| pairs.map(|(s, p)| h.cell_single(w, s, p, None)))
+                    .collect();
+                h.run_cells(cells);
+            }
+            for w in mem.active_workloads() {
+                let ww = warm
+                    .active_workloads()
+                    .into_iter()
+                    .find(|x| x.name() == w.name())
+                    .expect("same catalog with and without a store");
+                for (s, p) in pairs {
+                    assert_eq!(
+                        mem.run_single(&w, s, p),
+                        warm.run_single(&ww, s, p),
+                        "{} / {s:?} differs between captured and streamed replay \
+                         ({engine:?}, {threads} threads)",
+                        w.name()
+                    );
+                }
+            }
+            let ts = warm.trace_stats();
+            assert_eq!(
+                ts.captures, 0,
+                "warm store must not re-capture ({engine:?}, {threads} threads)"
+            );
+            assert!(ts.disk_hits > 0, "warm run streams traces from disk");
+            assert_eq!(ts.corrupt, 0, "no trace file may fail validation");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn in_memory_rerun_of_an_experiment_is_simulation_free() {
     let h = Harness::new(rc_with_threads(4));

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tlp::sim::engine::{CoreSetup, System};
 use tlp::sim::{SystemConfig, TimelineConfig};
 use tlp::trace::{Reg, TraceRecord, VecTrace};
+use tlp::tracestore::StreamTrace;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
@@ -87,4 +88,40 @@ fn steady_state_tick_never_allocates() {
         delta, 0,
         "steady-state busy phase allocated {delta} times in 20k cycles"
     );
+
+    // Same bar with a disk-backed trace source: a looping TLPT v2
+    // `StreamTrace` decodes from its preallocated block buffer and
+    // refills it with plain seek + read_exact, so streamed replay —
+    // including block transitions and loop wraps — must tick without
+    // touching the allocator either.
+    let dir = std::env::temp_dir().join(format!("tlp-zeroalloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cyclic.tlpt");
+    // Short enough that the measured window wraps the file repeatedly.
+    let recs: Vec<TraceRecord> = {
+        let mut t = cyclic_trace(30_000);
+        use tlp::trace::TraceSource;
+        (0..30_000)
+            .map(|_| t.next_record().expect("in range"))
+            .collect()
+    };
+    tlp::tracestore::write_trace_v2(&path, "cyclic", true, &recs, &[], 0).expect("write v2");
+    let stream = StreamTrace::open(&path).expect("open v2");
+    let mut sys = System::new(
+        SystemConfig::test_tiny(1),
+        vec![CoreSetup::new(Box::new(stream))],
+    );
+    for _ in 0..40_000 {
+        sys.tick();
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..20_000 {
+        sys.tick();
+    }
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "streamed steady state allocated {delta} times in 20k cycles"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
